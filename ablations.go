@@ -1,0 +1,91 @@
+package tinydir
+
+import "fmt"
+
+// Ablation studies beyond the paper's figures, covering the design
+// choices DESIGN.md calls out:
+//
+//   - entry-format composability (§I-A: narrower sharer encodings can be
+//     layered under any entry-count optimization);
+//   - the gNRU generation length (§IV-A2: "the length of a generation
+//     needs to be chosen carefully" — adaptive vs fixed);
+//   - the dynamic-spill observation window (§IV-B2's 8K accesses).
+
+// AblFormat compares sharer-encoding formats on a 1x sparse directory:
+// execution time and coherence traffic, normalized to the full-map 1x
+// configuration. Limited pointers and coarse vectors shrink each entry
+// but inflate invalidations.
+func (s *Suite) AblFormat() Figure {
+	f := Figure{ID: "AblFormat", Title: "Sharer-encoding formats on a 1x sparse directory", Cols: s.appNames(), Unit: "x vs fullmap"}
+	ref := SparseDirectory(1)
+	formats := []string{"ptr1", "ptr4", "coarse4", "coarse8"}
+	for _, fmtName := range formats {
+		fmtName := fmtName
+		f.Series = append(f.Series, s.perApp("time:"+fmtName, func(app Profile) float64 {
+			base := s.run(app, ref).Metrics.Cycles
+			m := s.run(app, SparseDirectoryWithFormat(1, fmtName)).Metrics
+			return float64(m.Cycles) / float64(base)
+		}))
+	}
+	for _, fmtName := range formats {
+		fmtName := fmtName
+		f.Series = append(f.Series, s.perApp("coh-traffic:"+fmtName, func(app Profile) float64 {
+			base := s.run(app, ref).Metrics.TrafficBytes[2]
+			m := s.run(app, SparseDirectoryWithFormat(1, fmtName)).Metrics
+			if base == 0 {
+				return 1
+			}
+			return float64(m.TrafficBytes[2]) / float64(base)
+		}))
+	}
+	return f
+}
+
+// AblGenLen compares the adaptive gNRU generation length against fixed
+// lengths (in 4K-cycle units) on the 1/128x tiny directory, reporting
+// tiny-directory hits normalized to the adaptive policy.
+func (s *Suite) AblGenLen() Figure {
+	f := Figure{ID: "AblGenLen", Title: "gNRU generation length, tiny 1/128x", Cols: s.appNames(), Unit: "hits vs adaptive"}
+	adaptive := TinyDirectory(1.0/128, true, false)
+	for _, gl := range []uint64{1, 16, 256, 1024} {
+		gl := gl
+		name := fmt.Sprintf("fixed-%d", gl)
+		f.Series = append(f.Series, s.perApp(name, func(app Profile) float64 {
+			base := s.run(app, adaptive).Metrics.Tracker["tiny.hits"]
+			sch := adaptive
+			sch.FixedGenLen = gl
+			m := s.run(app, sch).Metrics
+			if base == 0 {
+				return 1
+			}
+			return float64(m.Tracker["tiny.hits"]) / float64(base)
+		}))
+	}
+	return f
+}
+
+// AblWindow varies the dynamic-spill observation window on the 1/256x
+// tiny directory, reporting execution time normalized to the paper's 8K
+// default. Short windows adapt the spill threshold noisily; long windows
+// adapt late.
+func (s *Suite) AblWindow() Figure {
+	f := Figure{ID: "AblWindow", Title: "Spill observation window, tiny 1/256x", Cols: s.appNames(), Unit: "x vs 8K window"}
+	ref := TinyDirectory(1.0/256, true, true)
+	for _, w := range []uint64{256, 1024, 32768} {
+		w := w
+		name := fmt.Sprintf("window-%d", w)
+		f.Series = append(f.Series, s.perApp(name, func(app Profile) float64 {
+			base := s.run(app, ref).Metrics.Cycles
+			sch := ref
+			sch.SpillWindow = w
+			m := s.run(app, sch).Metrics
+			return float64(m.Cycles) / float64(base)
+		}))
+	}
+	return f
+}
+
+// Ablations runs all ablation studies.
+func (s *Suite) Ablations() []Figure {
+	return []Figure{s.AblFormat(), s.AblGenLen(), s.AblWindow()}
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper's figures. Each figure is a
+// table of per-application values (plus Average), in the units the paper
+// plots. Results are self-normalized to the 2x sparse-directory baseline
+// exactly like the paper.
+//
+//	experiments                 # the whole suite (Figs. 1-22 + halved)
+//	experiments -fig 10         # one figure
+//	experiments -scale full     # the 128-core machine (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tinydir"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", `figure id: 1..22, "halved", "format", "genlen", "window", or "all"`)
+		scale = flag.String("scale", "experiment", "test | experiment | full")
+		quiet = flag.Bool("q", false, "suppress per-run progress")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	var sc tinydir.Scale
+	switch *scale {
+	case "test":
+		sc = tinydir.ScaleTest
+	case "experiment":
+		sc = tinydir.ScaleExperiment
+	case "full":
+		sc = tinydir.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	suite := tinydir.NewSuite(sc)
+	if !*quiet {
+		suite.Progress = os.Stderr
+	}
+	start := time.Now()
+	if strings.EqualFold(*fig, "all") {
+		// Stream figure by figure so partial results survive interrupts.
+		ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
+			"11", "12", "13", "14", "15", "16", "17", "18", "19", "20",
+			"21", "22", "halved"}
+		for _, id := range ids {
+			f, err := suite.FigureByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			emit(f, *csvOut)
+		}
+	} else {
+		f, err := suite.FigureByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		emit(f, *csvOut)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %d simulations in %s\n", suite.Runs(), time.Since(start).Round(time.Second))
+}
+
+func emit(f tinydir.Figure, asCSV bool) {
+	if asCSV {
+		if err := f.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f.Fprint(os.Stdout)
+	fmt.Println()
+}

@@ -1,0 +1,42 @@
+// Commercial-workload scenario: the OLTP and web-serving profiles whose
+// large shared code and data footprints the paper's introduction
+// motivates. Compares the traditional sparse directory at shrinking
+// sizes against the tiny directory, and against the MgD and Stash
+// prior-work comparison points of Fig. 22, reporting execution time and
+// interconnect traffic.
+package main
+
+import (
+	"fmt"
+
+	"tinydir"
+)
+
+func main() {
+	apps := []string{"TPC-C", "SPECweb-B", "SPECjbb"}
+	schemes := []tinydir.Scheme{
+		tinydir.SparseDirectory(1.0 / 4),
+		tinydir.SparseDirectory(1.0 / 16),
+		tinydir.MgD(1.0 / 32),
+		tinydir.Stash(1.0 / 32),
+		tinydir.TinyDirectory(1.0/32, true, true),
+		tinydir.TinyDirectory(1.0/256, true, true),
+	}
+
+	for _, name := range apps {
+		app := tinydir.App(name)
+		base := tinydir.Run(tinydir.Options{App: app, Scheme: tinydir.SparseDirectory(2), Scale: tinydir.ScaleExperiment})
+		fmt.Printf("## %s (%d cores, 2x baseline: %d cycles, %.0f KB traffic)\n",
+			name, base.Cores, base.Metrics.Cycles, float64(base.Metrics.TotalTraffic())/1024)
+		fmt.Printf("%-36s %10s %10s %12s\n", "scheme", "norm.time", "traffic", "broadcasts")
+		for _, sch := range schemes {
+			r := tinydir.Run(tinydir.Options{App: app, Scheme: sch, Scale: tinydir.ScaleExperiment})
+			fmt.Printf("%-36s %9.3fx %9.3fx %12d\n",
+				r.Scheme,
+				float64(r.Metrics.Cycles)/float64(base.Metrics.Cycles),
+				float64(r.Metrics.TotalTraffic())/float64(base.Metrics.TotalTraffic()),
+				r.Metrics.Broadcasts)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: simulate one workload under the traditional 2x sparse
+// directory and under the paper's tiny directory at 1/128x the size, and
+// compare execution time — the paper's headline claim is that the two
+// stay within about a percent of each other while the tiny directory
+// spends ~250x less tracking storage.
+package main
+
+import (
+	"fmt"
+
+	"tinydir"
+)
+
+func main() {
+	app := tinydir.App("bodytrack")
+
+	baseline := tinydir.Run(tinydir.Options{
+		App:    app,
+		Scheme: tinydir.SparseDirectory(2.0),
+		Scale:  tinydir.ScaleExperiment,
+	})
+	tiny := tinydir.Run(tinydir.Options{
+		App:    app,
+		Scheme: tinydir.TinyDirectory(1.0/128, true, true), // DSTRA+gNRU+DynSpill
+		Scale:  tinydir.ScaleExperiment,
+	})
+
+	fmt.Printf("workload: %s on %d cores\n\n", baseline.App, baseline.Cores)
+	fmt.Printf("%-36s %14s %12s %12s\n", "scheme", "cycles", "LLC miss", "lengthened")
+	for _, r := range []tinydir.Result{baseline, tiny} {
+		fmt.Printf("%-36s %14d %11.2f%% %11.2f%%\n",
+			r.Scheme, r.Metrics.Cycles, 100*r.Metrics.LLCMissRate(), 100*r.Metrics.LengthenedFrac())
+	}
+	slow := float64(tiny.Metrics.Cycles)/float64(baseline.Metrics.Cycles) - 1
+	fmt.Printf("\ntiny 1/128x vs sparse 2x: %+.2f%% execution time\n", 100*slow)
+	fmt.Printf("tiny directory activity: %d allocations, %d hits, %d spills\n",
+		tiny.Metrics.Tracker["tiny.allocs"], tiny.Metrics.Tracker["tiny.hits"],
+		tiny.Metrics.Tracker["tiny.spills"])
+}

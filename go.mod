@@ -1,0 +1,3 @@
+module tinydir
+
+go 1.24

@@ -1,0 +1,155 @@
+// Package bitvec implements the full-map sharer bitvector used by every
+// directory organization in this repository. The paper assumes a full-map
+// vector per entry (128 bits for 128 cores); the type supports any core
+// count so that unit tests can run small systems.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a fixed-capacity bitvector. The zero value of a Vec created by New
+// has all bits clear. Vec values are small (a slice header) and are shared
+// when assigned; use Clone for an independent copy.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty vector with capacity for n bits.
+func New(n int) Vec {
+	if n < 0 {
+		panic("bitvec: negative size")
+	}
+	return Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the capacity in bits.
+func (v Vec) Len() int { return v.n }
+
+func (v Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Set sets bit i.
+func (v Vec) Set(i int) {
+	v.check(i)
+	v.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Clear clears bit i.
+func (v Vec) Clear(i int) {
+	v.check(i)
+	v.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Test reports whether bit i is set.
+func (v Vec) Test(i int) bool {
+	v.check(i)
+	return v.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of set bits (the sharer count).
+func (v Vec) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bits are set.
+func (v Vec) Empty() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns the index of the lowest set bit, or -1 if none. The paper's
+// protocol "elects" a sharer to supply data for corrupted-shared blocks; we
+// always elect the lowest-numbered sharer, which is deterministic.
+func (v Vec) First() int {
+	for wi, w := range v.words {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Next returns the index of the lowest set bit strictly greater than i, or
+// -1 if none. Use First/Next to iterate sharers.
+func (v Vec) Next(i int) int {
+	i++
+	if i >= v.n {
+		return -1
+	}
+	wi := i / 64
+	w := v.words[wi] >> (uint(i) % 64)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(v.words); wi++ {
+		if v.words[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(v.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for each set bit in ascending order.
+func (v Vec) ForEach(fn func(i int)) {
+	for i := v.First(); i >= 0; i = v.Next(i) {
+		fn(i)
+	}
+}
+
+// Reset clears all bits in place.
+func (v Vec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (v Vec) Clone() Vec {
+	c := Vec{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v Vec) Equal(o Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as a set, e.g. "{0,5,17}".
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	v.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", i)
+		first = false
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	v := New(128)
+	if !v.Empty() || v.Count() != 0 || v.First() != -1 {
+		t.Fatal("fresh vector not empty")
+	}
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(127)
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", v.Count())
+	}
+	for _, i := range []int{0, 63, 64, 127} {
+		if !v.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.Test(1) || v.Test(65) {
+		t.Fatal("unexpected bit set")
+	}
+	v.Clear(63)
+	if v.Test(63) || v.Count() != 3 {
+		t.Fatal("Clear failed")
+	}
+	if v.String() != "{0,64,127}" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestIteration(t *testing.T) {
+	v := New(200)
+	want := []int{3, 64, 65, 128, 199}
+	for _, i := range want {
+		v.Set(i)
+	}
+	if v.First() != 3 {
+		t.Fatalf("First = %d", v.First())
+	}
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	if v.Next(199) != -1 {
+		t.Fatal("Next past the end should be -1")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for _, f := range []func(){func() { v.Set(8) }, func() { v.Test(-1) }, func() { v.Clear(100) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(64)
+	v.Set(5)
+	c := v.Clone()
+	c.Set(6)
+	if v.Test(6) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Test(5) {
+		t.Fatal("Clone lost bit")
+	}
+	if v.Equal(c) {
+		t.Fatal("Equal should be false after divergence")
+	}
+	c.Clear(6)
+	if !v.Equal(c) {
+		t.Fatal("Equal should be true")
+	}
+}
+
+func TestResetAndZeroLen(t *testing.T) {
+	v := New(100)
+	for i := 0; i < 100; i += 7 {
+		v.Set(i)
+	}
+	v.Reset()
+	if !v.Empty() {
+		t.Fatal("Reset did not clear")
+	}
+	z := New(0)
+	if !z.Empty() || z.First() != -1 || z.Count() != 0 {
+		t.Fatal("zero-length vector misbehaves")
+	}
+}
+
+// Property: a Vec behaves exactly like a map[int]bool model under a random
+// operation sequence.
+func TestModelEquivalence(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		v := New(n)
+		model := map[int]bool{}
+		for op := 0; op < int(nOps); op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				v.Set(i)
+				model[i] = true
+			case 1:
+				v.Clear(i)
+				delete(model, i)
+			case 2:
+				if v.Test(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if v.Count() != len(model) {
+			return false
+		}
+		seen := 0
+		ok := true
+		v.ForEach(func(i int) {
+			seen++
+			if !model[i] {
+				ok = false
+			}
+		})
+		return ok && seen == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: First/Next iteration is strictly increasing and visits Count()
+// bits.
+func TestIterationProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		v := New(1 << 12)
+		for _, r := range raw {
+			v.Set(int(r) % (1 << 12))
+		}
+		prev := -1
+		n := 0
+		for i := v.First(); i >= 0; i = v.Next(i) {
+			if i <= prev {
+				return false
+			}
+			prev = i
+			n++
+		}
+		return n == v.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCount128(b *testing.B) {
+	v := New(128)
+	for i := 0; i < 128; i += 3 {
+		v.Set(i)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = v.Count()
+	}
+}

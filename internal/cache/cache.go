@@ -1,0 +1,295 @@
+// Package cache implements the tag-array models used for the private L1/L2
+// caches, the shared LLC banks, and every sparse-directory organization.
+// Only tags and metadata are modeled; data values are not simulated.
+//
+// Two organizations are provided: the conventional set-associative array
+// (LRU or 1-bit NRU replacement, matching Table I of the paper) and a
+// skewed-associative array with H3 hash functions (used for the Fig. 3
+// limit study of a 4-way skew-associative shared-only directory).
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy of a set-associative array.
+type Policy int
+
+const (
+	// LRU is true least-recently-used replacement (caches in Table I).
+	LRU Policy = iota
+	// NRU is 1-bit not-recently-used replacement (sparse directory slices).
+	NRU
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case NRU:
+		return "NRU"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Line is one tag-array entry. Meta carries the caller's per-line state
+// (coherence state, dirty bits, STRA counters, ...).
+type Line[T any] struct {
+	Addr  uint64 // block address (byte address >> block bits)
+	Valid bool
+	Meta  T
+
+	stamp uint64 // LRU recency stamp
+	ref   bool   // NRU reference bit
+	set   int
+	way   int
+}
+
+// Way returns the physical way index of the line within its set. The DSTRA
+// policy breaks ties by lowest physical way id, so trackers need access to
+// it.
+func (l *Line[T]) Way() int { return l.way }
+
+// Set returns the set index of the line.
+func (l *Line[T]) Set() int { return l.set }
+
+// Cache is a set-associative tag array.
+type Cache[T any] struct {
+	sets   int
+	ways   int
+	policy Policy
+	shift  uint
+	lines  []Line[T] // sets*ways, row-major by set
+	clock  uint64
+}
+
+// New returns a cache with the given geometry. sets and ways must be
+// positive; a fully-associative structure is sets == 1.
+func New[T any](sets, ways int, policy Policy) *Cache[T] {
+	if sets <= 0 || ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	c := &Cache[T]{sets: sets, ways: ways, policy: policy}
+	c.lines = make([]Line[T], sets*ways)
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			l := &c.lines[s*ways+w]
+			l.set, l.way = s, w
+		}
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache[T]) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache[T]) Ways() int { return c.ways }
+
+// Capacity returns the number of lines.
+func (c *Cache[T]) Capacity() int { return c.sets * c.ways }
+
+// SetIndexShift discards the low s address bits before set indexing.
+// Banked structures (LLC banks, directory slices) use it to strip the
+// bank-selection bits, which are constant within one bank.
+func (c *Cache[T]) SetIndexShift(s uint) { c.shift = s }
+
+// SetIndex maps a block address to its set.
+func (c *Cache[T]) SetIndex(addr uint64) int { return int((addr >> c.shift) % uint64(c.sets)) }
+
+// SetLines returns the lines of set s (all ways, valid or not), in physical
+// way order. Callers must not retain the slice across Insert calls on other
+// caches but may mutate Meta in place.
+func (c *Cache[T]) SetLines(s int) []*Line[T] {
+	out := make([]*Line[T], c.ways)
+	for w := 0; w < c.ways; w++ {
+		out[w] = &c.lines[s*c.ways+w]
+	}
+	return out
+}
+
+// ScanSet calls fn for every valid line in addr's set until fn returns
+// false. It allocates nothing, so trackers use it on hot paths to find
+// both the data block and its spilled tracking entry.
+func (c *Cache[T]) ScanSet(addr uint64, fn func(*Line[T]) bool) {
+	base := c.SetIndex(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.Valid && !fn(l) {
+			return
+		}
+	}
+}
+
+// Lookup returns the line holding addr, or nil. It does not update
+// replacement state; callers decide when an access counts as a use (Touch).
+func (c *Cache[T]) Lookup(addr uint64) *Line[T] {
+	s := c.SetIndex(addr)
+	base := s * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.Valid && l.Addr == addr {
+			return l
+		}
+	}
+	return nil
+}
+
+// Touch marks the line as most-recently used (LRU) or recently used (NRU).
+func (c *Cache[T]) Touch(l *Line[T]) {
+	c.clock++
+	l.stamp = c.clock
+	l.ref = true
+}
+
+// Victim returns the line that Insert would replace for addr, without
+// modifying anything. If the set has an invalid way, that way is returned.
+func (c *Cache[T]) Victim(addr uint64) *Line[T] {
+	return c.victimIn(c.SetIndex(addr), nil)
+}
+
+// VictimWhere is Victim with a filter: lines for which skip returns true
+// are never chosen (e.g. a data block must outlive its spilled tracking
+// entry). If every way is skipped it returns nil.
+func (c *Cache[T]) VictimWhere(addr uint64, skip func(*Line[T]) bool) *Line[T] {
+	return c.victimIn(c.SetIndex(addr), skip)
+}
+
+func (c *Cache[T]) victimIn(s int, skip func(*Line[T]) bool) *Line[T] {
+	base := s * c.ways
+	// Invalid way first.
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if !l.Valid && (skip == nil || !skip(l)) {
+			return l
+		}
+	}
+	switch c.policy {
+	case LRU:
+		var best *Line[T]
+		for w := 0; w < c.ways; w++ {
+			l := &c.lines[base+w]
+			if skip != nil && skip(l) {
+				continue
+			}
+			if best == nil || l.stamp < best.stamp {
+				best = l
+			}
+		}
+		return best
+	case NRU:
+		// First pass: lowest way with ref bit clear. If all referenced,
+		// gang-clear and retry (standard 1-bit NRU).
+		for pass := 0; pass < 2; pass++ {
+			for w := 0; w < c.ways; w++ {
+				l := &c.lines[base+w]
+				if skip != nil && skip(l) {
+					continue
+				}
+				if !l.ref {
+					return l
+				}
+			}
+			for w := 0; w < c.ways; w++ {
+				c.lines[base+w].ref = false
+			}
+		}
+		// All ways skipped.
+		return nil
+	}
+	return nil
+}
+
+// Insert places addr into the cache, evicting the replacement victim if the
+// set is full. It returns the line now holding addr and, if a valid line
+// was displaced, a copy of that line (so the caller can issue writebacks or
+// back-invalidations). The new line is marked most-recently used and its
+// Meta is zeroed.
+func (c *Cache[T]) Insert(addr uint64) (l *Line[T], evicted Line[T], hadVictim bool) {
+	return c.InsertWhere(addr, nil)
+}
+
+// InsertWhere is Insert with a victim filter (see VictimWhere). If every
+// candidate is skipped, it returns l == nil.
+func (c *Cache[T]) InsertWhere(addr uint64, skip func(*Line[T]) bool) (l *Line[T], evicted Line[T], hadVictim bool) {
+	if ex := c.Lookup(addr); ex != nil {
+		c.Touch(ex)
+		return ex, Line[T]{}, false
+	}
+	v := c.victimIn(c.SetIndex(addr), skip)
+	if v == nil {
+		return nil, Line[T]{}, false
+	}
+	if v.Valid {
+		evicted = *v
+		hadVictim = true
+	}
+	var zero T
+	v.Addr = addr
+	v.Valid = true
+	v.Meta = zero
+	c.Touch(v)
+	return v, evicted, hadVictim
+}
+
+// Replace installs addr into the given line of this cache without a
+// lookup, zeroing Meta and marking it most-recently used. It is the
+// primitive behind spilled-tracking-entry allocation, where a second line
+// with the *same* tag as an existing data block must be created (a plain
+// Insert would hit the data block). The caller is responsible for having
+// dealt with the previous occupant (see Victim/VictimWhere) and for
+// passing a line that belongs to addr's set.
+func (c *Cache[T]) Replace(l *Line[T], addr uint64) {
+	if l.set != c.SetIndex(addr) {
+		panic("cache: Replace outside the address's set")
+	}
+	var zero T
+	l.Addr = addr
+	l.Valid = true
+	l.Meta = zero
+	c.Touch(l)
+}
+
+// Invalidate removes addr from the cache and returns the line contents that
+// were present, if any.
+func (c *Cache[T]) Invalidate(addr uint64) (Line[T], bool) {
+	l := c.Lookup(addr)
+	if l == nil {
+		return Line[T]{}, false
+	}
+	old := *l
+	var zero T
+	l.Valid = false
+	l.Meta = zero
+	l.ref = false
+	return old, true
+}
+
+// InvalidateLine removes the given line directly (used when two lines
+// carry the same tag — a spilled tracking entry and its data block — and
+// an address-based Invalidate would be ambiguous).
+func (c *Cache[T]) InvalidateLine(l *Line[T]) {
+	var zero T
+	l.Valid = false
+	l.Meta = zero
+	l.ref = false
+}
+
+// CountValid returns the number of valid lines (test helper).
+func (c *Cache[T]) CountValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every valid line.
+func (c *Cache[T]) ForEach(fn func(*Line[T])) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package core implements the paper's contribution: in-LLC coherence
+// tracking (§III), the tiny directory with the DSTRA and DSTRA+gNRU
+// allocation policies (§IV-A), and dynamic selective spilling of tracking
+// entries into the LLC (§IV-B).
+package core
+
+// This file implements the Shared Three-hop Read Access (STRA) machinery
+// of §IV-A: two six-bit saturating counters per tracked block — the STRA
+// counter (STRAC), incremented on LLC read accesses that find the block in
+// the shared state, and the Other Access Counter (OAC), incremented on all
+// other LLC accesses except writebacks — plus the category binning
+// C0..C7. Both counters are halved whenever either saturates.
+
+// CounterMax is the saturation value of the six-bit counters.
+const CounterMax = 63
+
+// NumCategories is the number of STRA categories (C0..C7).
+const NumCategories = 8
+
+// NoteSharedRead increments the STRA counter, halving both on saturation.
+func NoteSharedRead(strac, oac *uint8) {
+	if *strac >= CounterMax {
+		*strac /= 2
+		*oac /= 2
+	}
+	*strac++
+}
+
+// NoteOther increments the other-access counter, halving both on
+// saturation.
+func NoteOther(strac, oac *uint8) {
+	if *oac >= CounterMax {
+		*strac /= 2
+		*oac /= 2
+	}
+	*oac++
+}
+
+// Category maps the counter pair to the paper's STRA category index:
+// category 0 for a zero STRA ratio, and for i in 1..6 category i covers
+// ratio in (1 - 1/2^(i-1), 1 - 1/2^i], with category 7 covering
+// (1 - 1/64, 1]. Computed exactly in integers: the ratio r = s/(s+o)
+// exceeds 1 - 1/2^k iff s * 2^k > (s+o) * (2^k - 1).
+func Category(strac, oac uint8) int {
+	s := uint32(strac)
+	o := uint32(oac)
+	if s == 0 {
+		return 0
+	}
+	cat := 0
+	for i := 1; i <= 7; i++ {
+		k := uint32(1) << uint(i-1)
+		if s*k > (s+o)*(k-1) {
+			cat = i
+		} else {
+			break
+		}
+	}
+	return cat
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+
+	"tinydir/internal/proto"
+	"tinydir/internal/sim"
+	"tinydir/internal/trackertest"
+)
+
+// corruptShared puts addr into the corrupted-shared state with the given
+// STRA counters, simulating a block with an established access history.
+func corruptShared(t *testing.T, tr *Tiny, env *trackertest.Env, addr uint64, strac, oac uint8, cores ...int) *proto.LLCLine {
+	t.Helper()
+	// Construct the §III corrupted-shared state directly in the line
+	// metadata (that is where the in-LLC scheme keeps it), so the setup
+	// cannot itself trigger the allocation paths under test.
+	line := env.Fill(addr)
+	line.Meta.Corrupted = true
+	line.Meta.Track = sharedBy(env, cores...)
+	line.Meta.STRAC, line.Meta.OAC = strac, oac
+	if v := tr.Begin(addr, proto.PutS, true); v.E.State != proto.Shared {
+		t.Fatalf("setup: tracker does not see corrupted-shared state: %+v", v)
+	}
+	return line
+}
+
+func TestTinyDSTRAAllocatesOnCorruptedRead(t *testing.T) {
+	env := trackertest.New(16, 8, 8)
+	tr := NewTiny(TinyConfig{Entries: 4})
+	tr.Attach(env)
+	line := corruptShared(t, tr, env, 10, 30, 2, 1, 2) // high STRA ratio
+
+	// A read commit to the corrupted block must allocate a tiny entry
+	// (invalid ways available) and reconstruct the LLC block.
+	eff := tr.Commit(10, proto.GetS, 3, sharedBy(env, 1, 2, 3))
+	if line.Meta.Corrupted {
+		t.Fatal("block not reconstructed on allocation")
+	}
+	if len(eff.ReconFromCores) != 1 {
+		t.Fatalf("no reconstruction traffic: %+v", eff)
+	}
+	if e, ok := tr.Lookup(10); !ok || e.State != proto.Shared || e.Sharers.Count() != 3 {
+		t.Fatalf("tiny entry wrong: %+v ok=%v", e, ok)
+	}
+	m := map[string]uint64{}
+	tr.Metrics(m)
+	if m["tiny.allocs"] != 1 {
+		t.Fatalf("allocs %v", m)
+	}
+	// Subsequent view: supplied from LLC, no extra latency.
+	v := tr.Begin(10, proto.GetS, true)
+	if !v.SupplyFromLLC || v.ExtraLatency != 0 {
+		t.Fatalf("tiny-tracked view %+v", v)
+	}
+}
+
+func TestTinyDSTRARefusesLowerCategory(t *testing.T) {
+	env := trackertest.New(16, 1, 8) // 1-way LLC sets are fine here
+	tr := NewTiny(TinyConfig{Entries: 1})
+	tr.Attach(env)
+
+	// Install a high-category entry.
+	corruptShared(t, tr, env, 1, 40, 0, 1, 2) // C7 (ratio 1.0)
+	tr.Commit(1, proto.GetS, 3, sharedBy(env, 1, 2, 3))
+	if _, ok := tr.Lookup(1); !ok {
+		t.Fatal("setup: first block not tracked")
+	}
+	m := map[string]uint64{}
+	tr.Metrics(m)
+	if m["tiny.allocs"] != 1 {
+		t.Fatalf("setup allocs %v", m)
+	}
+
+	// A low-category block must NOT displace it (DSTRA requires a
+	// strictly higher category).
+	line2 := corruptShared(t, tr, env, 2, 2, 40, 4, 5) // C1
+	eff := tr.Commit(2, proto.GetS, 6, sharedBy(env, 4, 5, 6))
+	_ = eff
+	if !line2.Meta.Corrupted {
+		t.Fatal("low-category block should stay in corrupted state")
+	}
+	m = map[string]uint64{}
+	tr.Metrics(m)
+	if m["tiny.allocs"] != 1 {
+		t.Fatalf("low-category block displaced the entry: %v", m)
+	}
+}
+
+func TestTinyGNRUAllowsEqualCategoryWithEP(t *testing.T) {
+	env := trackertest.New(16, 8, 8)
+	tr := NewTiny(TinyConfig{Entries: 1, GNRU: true})
+	tr.Attach(env)
+
+	corruptShared(t, tr, env, 1, 40, 0, 1, 2) // C7
+	tr.Commit(1, proto.GetS, 3, sharedBy(env, 1, 2, 3))
+
+	// Two generations pass without any access to the entry: the EP bit
+	// turns on (first generation clears R, second sets EP).
+	env.Time += sim.Time(3 * defaultGenLen * genUnit)
+	tr.genTick()
+	env.Time += sim.Time(3 * defaultGenLen * genUnit)
+	tr.genTick()
+
+	// An equal-category block can now displace the dead entry.
+	line2 := corruptShared(t, tr, env, 2, 40, 0, 4, 5) // also C7
+	tr.Commit(2, proto.GetS, 6, sharedBy(env, 4, 5, 6))
+	if e, ok := tr.Lookup(2); !ok || e.State != proto.Shared {
+		t.Fatalf("gNRU did not replace dead entry: %+v ok=%v", e, ok)
+	}
+	if line2.Meta.Corrupted {
+		t.Fatal("new block not reconstructed")
+	}
+	// The displaced entry's state moved into its LLC line as corrupted.
+	line1, _ := tr.findLines(1)
+	if line1 == nil || !line1.Meta.Corrupted {
+		t.Fatal("victim state not transferred into its LLC line")
+	}
+}
+
+func TestTinyPlainDSTRAKeepsDeadEqualCategoryEntry(t *testing.T) {
+	env := trackertest.New(16, 8, 8)
+	tr := NewTiny(TinyConfig{Entries: 1}) // no gNRU
+	tr.Attach(env)
+	corruptShared(t, tr, env, 1, 40, 0, 1, 2)
+	tr.Commit(1, proto.GetS, 3, sharedBy(env, 1, 2, 3))
+	env.Time += sim.Time(10 * defaultGenLen * genUnit)
+	corruptShared(t, tr, env, 2, 40, 0, 4, 5)
+	tr.Commit(2, proto.GetS, 6, sharedBy(env, 4, 5, 6))
+	if _, ok := tr.Lookup(1); !ok {
+		t.Fatal("plain DSTRA should retain the old equal-category entry")
+	}
+	m := map[string]uint64{}
+	tr.Metrics(m)
+	if m["tiny.allocs"] != 1 {
+		t.Fatalf("plain DSTRA displaced on equal category: %v", m)
+	}
+}
+
+func TestTinySpillLifecycle(t *testing.T) {
+	env := trackertest.New(16, 8, 8)
+	tr := NewTiny(TinyConfig{Entries: 1, Spill: true, WindowAccesses: 4})
+	tr.Attach(env)
+	tr.spillIdx = 0 // spill everything (the window controller is tested below)
+
+	// Occupy the single tiny entry with a C7 block.
+	corruptShared(t, tr, env, 1, 40, 0, 1, 2)
+	tr.Commit(1, proto.GetS, 3, sharedBy(env, 1, 2, 3))
+
+	// A second shared block in a non-sampled set must spill.
+	addr := uint64(0)
+	for a := uint64(2); a < 200; a++ {
+		if !tr.sampledSet(env.Llc.SetIndex(a)) && env.Llc.SetIndex(a) != env.Llc.SetIndex(1) {
+			addr = a
+			break
+		}
+	}
+	if addr == 0 {
+		t.Fatal("no non-sampled set found")
+	}
+	db := corruptShared(t, tr, env, addr, 2, 40, 4, 5) // C1 — declined by DSTRA vs C7
+	tr.Commit(addr, proto.GetS, 6, sharedBy(env, 4, 5, 6))
+	m := map[string]uint64{}
+	tr.Metrics(m)
+	if m["tiny.spills"] != 1 {
+		t.Fatalf("expected a spill: %v", m)
+	}
+	if db.Meta.Corrupted {
+		t.Fatal("spilled block should be reconstructed")
+	}
+	dbl, sp := tr.findLines(addr)
+	if sp == nil || !sp.Meta.Spill || dbl == nil {
+		t.Fatal("spilled entry missing")
+	}
+	// Reads hit the spilled entry: two-hop, SpillHit marked.
+	v := tr.Begin(addr, proto.GetS, true)
+	if !v.SupplyFromLLC || !v.SpillHit || v.E.State != proto.Shared {
+		t.Fatalf("spill-hit view %+v", v)
+	}
+	// A write transition collapses EB into corrupted-exclusive on B.
+	tr.Commit(addr, proto.GetX, 4, excl(4))
+	dbl, sp = tr.findLines(addr)
+	if sp != nil {
+		t.Fatal("spilled entry should be invalidated on exclusive transition")
+	}
+	if dbl == nil || !dbl.Meta.Corrupted || dbl.Meta.Track.State != proto.Exclusive {
+		t.Fatalf("exclusive state not in corrupted bits: %+v", dbl.Meta)
+	}
+}
+
+func TestTinySpillVictimOrderEBBeforeB(t *testing.T) {
+	env := trackertest.New(16, 2, 8) // 2-way LLC: EB and B fill a set
+	tr := NewTiny(TinyConfig{Entries: 1, Spill: true})
+	tr.Attach(env)
+	tr.spillIdx = 0
+	// Occupy the tiny entry.
+	corruptShared(t, tr, env, 1, 40, 0, 1, 2)
+	tr.Commit(1, proto.GetS, 3, sharedBy(env, 1, 2, 3))
+	var addr uint64
+	for a := uint64(2); a < 200; a++ {
+		if !tr.sampledSet(env.Llc.SetIndex(a)) && env.Llc.SetIndex(a) != env.Llc.SetIndex(1) {
+			addr = a
+			break
+		}
+	}
+	corruptShared(t, tr, env, addr, 30, 1, 4, 5)
+	tr.Commit(addr, proto.GetS, 6, sharedBy(env, 4, 5, 6))
+	db, sp := tr.findLines(addr)
+	if sp == nil {
+		t.Fatal("no spill")
+	}
+	// After the paper's LRU-order trick (EB touched before B), the LLC
+	// victim for a conflicting fill must be EB, not B.
+	tr.Begin(addr, proto.GetS, true) // touches EB then B
+	v := env.Llc.VictimWhere(addr, func(l *proto.LLCLine) bool { return false })
+	if v != sp {
+		t.Fatalf("victim is %v, want the spilled entry", v.Addr)
+	}
+	_ = db
+}
+
+func TestTinySpillWindowAdaptation(t *testing.T) {
+	env := trackertest.New(64, 8, 8)
+	tr := NewTiny(TinyConfig{Entries: 4, Spill: true, WindowAccesses: 64})
+	tr.Attach(env)
+	if tr.spillIdx != 7 {
+		t.Fatalf("initial threshold %d, want 7 (most restrictive)", tr.spillIdx)
+	}
+	// Drive a window where spilling costs nothing (same hit rate in
+	// sampled and unsampled sets): the threshold must descend.
+	for i := 0; i < 200; i++ {
+		addr := uint64(i % 512)
+		env.Fill(addr)
+		tr.Begin(addr, proto.GetS, true)
+	}
+	if tr.spillIdx >= 7 {
+		t.Fatalf("threshold did not descend: %d", tr.spillIdx)
+	}
+	// Now make unsampled sets miss heavily: the threshold must rise.
+	down := tr.spillIdx
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 64; i++ {
+			addr := uint64(i % 512)
+			hit := tr.sampledSet(env.Llc.SetIndex(addr))
+			tr.Begin(addr, proto.GetS, hit)
+		}
+	}
+	if tr.spillIdx <= down {
+		t.Fatalf("threshold did not rise under spill-induced misses: %d <= %d", tr.spillIdx, down)
+	}
+}
+
+func TestTinyOnLLCVictimSpillTransfer(t *testing.T) {
+	env := trackertest.New(16, 8, 8)
+	tr := NewTiny(TinyConfig{Entries: 1, Spill: true})
+	tr.Attach(env)
+	tr.spillIdx = 0
+	corruptShared(t, tr, env, 1, 40, 0, 1, 2)
+	tr.Commit(1, proto.GetS, 3, sharedBy(env, 1, 2, 3))
+	var addr uint64
+	for a := uint64(2); a < 200; a++ {
+		if !tr.sampledSet(env.Llc.SetIndex(a)) && env.Llc.SetIndex(a) != env.Llc.SetIndex(1) {
+			addr = a
+			break
+		}
+	}
+	corruptShared(t, tr, env, addr, 30, 1, 4, 5)
+	tr.Commit(addr, proto.GetS, 6, sharedBy(env, 4, 5, 6))
+	db, sp := tr.findLines(addr)
+	if sp == nil {
+		t.Fatal("no spill")
+	}
+	eff := tr.OnLLCVictim(sp)
+	env.Llc.InvalidateLine(sp)
+	if len(eff.BackInvals) != 0 {
+		t.Fatalf("EB eviction should transfer, not invalidate: %+v", eff)
+	}
+	if !db.Meta.Corrupted || db.Meta.Track.State != proto.Shared {
+		t.Fatalf("state not transferred to B: %+v", db.Meta)
+	}
+}
+
+func TestTinyUnownedDropsEverything(t *testing.T) {
+	env := trackertest.New(16, 8, 8)
+	tr := NewTiny(TinyConfig{Entries: 4})
+	tr.Attach(env)
+	corruptShared(t, tr, env, 5, 30, 2, 1, 2)
+	tr.Commit(5, proto.GetS, 3, sharedBy(env, 1, 2, 3)) // allocates tiny entry
+	tr.Commit(5, proto.PutS, 1, sharedBy(env, 2, 3))
+	tr.Commit(5, proto.PutS, 2, sharedBy(env, 3))
+	eff := tr.Commit(5, proto.PutS, 3, proto.Entry{State: proto.Unowned})
+	_ = eff
+	if _, ok := tr.Lookup(5); ok {
+		t.Fatal("still tracked after last sharer left")
+	}
+	db, sp := tr.findLines(5)
+	if sp != nil || (db != nil && db.Meta.Corrupted) {
+		t.Fatal("residual tracking state")
+	}
+	if db != nil && (db.Meta.STRAC != 0 || db.Meta.OAC != 0) {
+		t.Fatal("counters not reset on unowned (paper §IV-A)")
+	}
+}

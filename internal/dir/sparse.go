@@ -1,0 +1,162 @@
+// Package dir implements the baseline coherence-tracking organizations the
+// paper compares against: the traditional sparse directory (Fig. 1), the
+// shared-blocks-only limit study (Fig. 3), the multi-grain directory MgD
+// and the Stash directory (Fig. 22).
+package dir
+
+import (
+	"tinydir/internal/cache"
+	"tinydir/internal/proto"
+)
+
+// Sparse is the traditional sparse directory slice of one LLC bank: a
+// cache of full-map tracking entries. A replacement invalidates (or
+// retrieves, if dirty) the block from all private caches holding it.
+type Sparse struct {
+	env  proto.BankEnv
+	tags *cache.Cache[proto.Entry]
+	// format optionally narrows the sharer field (limited pointers or a
+	// coarse vector); stored sharer sets become conservative supersets
+	// and the protocol pays the resulting extra invalidations. nil means
+	// the paper's full-map default.
+	format Format
+	// overflow holds entries that could not be placed because every
+	// candidate way belonged to a busy block — a simulator-side escape
+	// hatch that preserves correctness; it is counted and stays tiny.
+	overflow map[uint64]proto.Entry
+
+	allocs    uint64
+	victims   uint64
+	overflows uint64
+	inflated  uint64 // cores added to sharer sets by lossy encoding
+}
+
+// NewSparse builds a sparse directory slice with the given number of
+// entries. Slices with fewer than 32 entries are fully associative, like
+// the paper's 1/128x and 1/256x configurations; larger slices are 8-way
+// set-associative with 1-bit NRU replacement (Table I).
+func NewSparse(entries int) *Sparse {
+	return &Sparse{tags: newDirTags(entries), overflow: map[uint64]proto.Entry{}}
+}
+
+// NewSparseWithFormat builds a sparse directory whose sharer field uses
+// the given encoding format (see format.go). The protocol stays correct
+// because decoded sets are supersets of the true sharers; the precision
+// loss surfaces as extra invalidation traffic and is measured by the
+// entry-format ablation.
+func NewSparseWithFormat(entries int, f Format) *Sparse {
+	d := NewSparse(entries)
+	d.format = f
+	return d
+}
+
+func newDirTags(entries int) *cache.Cache[proto.Entry] {
+	if entries <= 0 {
+		panic("dir: non-positive entry count")
+	}
+	if entries < 32 {
+		return cache.New[proto.Entry](1, entries, cache.NRU)
+	}
+	ways := 8
+	sets := entries / ways
+	if sets == 0 {
+		sets, ways = 1, entries
+	}
+	return cache.New[proto.Entry](sets, ways, cache.NRU)
+}
+
+// Name implements proto.Tracker.
+func (d *Sparse) Name() string {
+	if d.format != nil {
+		return "sparse-" + d.format.Name()
+	}
+	return "sparse"
+}
+
+// Attach implements proto.Tracker.
+func (d *Sparse) Attach(env proto.BankEnv) {
+	d.env = env
+	d.tags.SetIndexShift(env.BankShift())
+}
+
+// Entries returns the slice capacity.
+func (d *Sparse) Entries() int { return d.tags.Capacity() }
+
+// Begin implements proto.Tracker.
+func (d *Sparse) Begin(addr uint64, kind proto.ReqKind, llcHit bool) proto.View {
+	e, ok := d.get(addr)
+	v := proto.View{SupplyFromLLC: true}
+	if ok {
+		v.E = e
+	}
+	return v
+}
+
+func (d *Sparse) get(addr uint64) (proto.Entry, bool) {
+	if l := d.tags.Lookup(addr); l != nil {
+		return l.Meta, true
+	}
+	e, ok := d.overflow[addr]
+	return e, ok
+}
+
+// Commit implements proto.Tracker.
+func (d *Sparse) Commit(addr uint64, kind proto.ReqKind, from int, next proto.Entry) proto.Effects {
+	var eff proto.Effects
+	if d.format != nil && next.State == proto.Shared {
+		// Round-trip through the encoding: the stored set becomes the
+		// (possibly conservative) decodable superset.
+		exact := next.Sharers
+		next.Sharers = d.format.Decode(d.format.Encode(exact), d.env.Cores())
+		if extra := next.Sharers.Count() - exact.Count(); extra > 0 {
+			d.inflated += uint64(extra)
+		}
+	}
+	if next.State == proto.Unowned {
+		d.tags.Invalidate(addr)
+		delete(d.overflow, addr)
+		return eff
+	}
+	if _, inOverflow := d.overflow[addr]; inOverflow {
+		d.overflow[addr] = next
+		return eff
+	}
+	if l := d.tags.Lookup(addr); l != nil {
+		l.Meta = next
+		d.tags.Touch(l)
+		return eff
+	}
+	d.allocs++
+	l, ev, had := d.tags.InsertWhere(addr, func(c *cache.Line[proto.Entry]) bool {
+		return c.Valid && d.env.IsBusy(c.Addr)
+	})
+	if l == nil {
+		// Every way busy: spill into the unbounded overflow (rare).
+		d.overflows++
+		d.overflow[addr] = next
+		return eff
+	}
+	if had {
+		d.victims++
+		eff.BackInvals = append(eff.BackInvals, proto.Victim{Addr: ev.Addr, E: ev.Meta})
+	}
+	l.Meta = next
+	return eff
+}
+
+// OnLLCVictim implements proto.Tracker. A sparse directory keeps tracking
+// independent of LLC residency, so nothing happens.
+func (d *Sparse) OnLLCVictim(l *proto.LLCLine) proto.Effects { return proto.Effects{} }
+
+// Lookup implements proto.Tracker.
+func (d *Sparse) Lookup(addr uint64) (proto.Entry, bool) { return d.get(addr) }
+
+// Metrics implements proto.Tracker.
+func (d *Sparse) Metrics(m map[string]uint64) {
+	m["dir.allocs"] += d.allocs
+	m["dir.victims"] += d.victims
+	m["dir.overflows"] += d.overflows
+	if d.format != nil {
+		m["dir.format.inflatedSharers"] += d.inflated
+	}
+}

@@ -1,0 +1,173 @@
+// Package dram models main memory: eight single-channel DDR3-2133
+// controllers with FR-FCFS-style scheduling, one rank per channel, eight
+// banks per rank, 8 KB rows, open-page policy, 12-12-12 timing — the
+// Table I configuration the paper models with DRAMSim2.
+//
+// The model tracks per-bank open rows and busy times and per-channel data
+// bus occupancy. Scheduling is FR-FCFS-lite: among the oldest `window`
+// pending requests of a channel, a row-buffer hit to a ready bank is
+// served first; otherwise the oldest request is served.
+package dram
+
+import "tinydir/internal/sim"
+
+// Timing in core cycles at 2 GHz. DDR3-2133 has tCK = 0.9375 ns; CL =
+// tRCD = tRP = 12 DRAM cycles = 11.25 ns = 22.5 core cycles (rounded to
+// 23). BL=8 on a 64-bit channel moves 64 B in 4 DRAM cycles = 3.75 ns =
+// 7.5 core cycles (rounded to 8).
+const (
+	tCAS   sim.Time = 23
+	tRCD   sim.Time = 23
+	tRP    sim.Time = 23
+	tBurst sim.Time = 8
+
+	banksPerChannel = 8
+	blocksPerRow    = 128 // 8 KB row / 64 B blocks
+	frfcfsWindow    = 8
+)
+
+type request struct {
+	blk     uint64
+	arrive  sim.Time
+	isWrite bool
+	done    func()
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+	freeAt  sim.Time
+}
+
+type channel struct {
+	banks   [banksPerChannel]bank
+	busFree sim.Time
+	pending []request
+	kicked  bool
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads, Writes     uint64
+	RowHits, RowMisses uint64
+}
+
+// Memory is the set of memory controllers.
+type Memory struct {
+	eng      *sim.Engine
+	channels []channel
+	stats    Stats
+}
+
+// New creates a memory system with nChannels controllers.
+func New(eng *sim.Engine, nChannels int) *Memory {
+	if nChannels <= 0 {
+		panic("dram: non-positive channel count")
+	}
+	m := &Memory{eng: eng, channels: make([]channel, nChannels)}
+	for c := range m.channels {
+		for b := range m.channels[c].banks {
+			m.channels[c].banks[b].openRow = -1
+		}
+	}
+	return m
+}
+
+// Channel returns the controller index that owns block address blk.
+func (m *Memory) Channel(blk uint64) int { return int(blk % uint64(len(m.channels))) }
+
+func (m *Memory) decode(blk uint64) (ch, bk int, row int64) {
+	ch = m.Channel(blk)
+	c := blk / uint64(len(m.channels))
+	bk = int(c % banksPerChannel)
+	row = int64(c / banksPerChannel / blocksPerRow)
+	return
+}
+
+// Read schedules a block read; done runs when the data has left the DRAM
+// (the caller adds network latency back to the requester).
+func (m *Memory) Read(blk uint64, done func()) {
+	m.stats.Reads++
+	m.enqueue(request{blk: blk, arrive: m.eng.Now(), done: done})
+}
+
+// Write schedules a block writeback. Writes consume bank and bus time but
+// complete silently.
+func (m *Memory) Write(blk uint64) {
+	m.stats.Writes++
+	m.enqueue(request{blk: blk, arrive: m.eng.Now(), isWrite: true})
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+func (m *Memory) enqueue(r request) {
+	ch := m.Channel(r.blk)
+	c := &m.channels[ch]
+	c.pending = append(c.pending, r)
+	m.kick(ch)
+}
+
+func (m *Memory) kick(ch int) {
+	c := &m.channels[ch]
+	if c.kicked || len(c.pending) == 0 {
+		return
+	}
+	now := m.eng.Now()
+	if c.busFree > now {
+		// Bus busy: try again when it frees.
+		c.kicked = true
+		m.eng.At(c.busFree, func() { c.kicked = false; m.kick(ch) })
+		return
+	}
+	// FR-FCFS-lite: among the first `frfcfsWindow` pending requests pick a
+	// row hit whose bank is ready; fall back to the oldest.
+	pick := 0
+	limit := len(c.pending)
+	if limit > frfcfsWindow {
+		limit = frfcfsWindow
+	}
+	for i := 0; i < limit; i++ {
+		_, bk, row := m.decode(c.pending[i].blk)
+		b := &c.banks[bk]
+		if b.openRow == row && b.freeAt <= now {
+			pick = i
+			break
+		}
+	}
+	r := c.pending[pick]
+	c.pending = append(c.pending[:pick], c.pending[pick+1:]...)
+
+	_, bk, row := m.decode(r.blk)
+	b := &c.banks[bk]
+	start := now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	var act sim.Time
+	switch {
+	case b.openRow == row:
+		act = tCAS
+		m.stats.RowHits++
+	case b.openRow < 0:
+		act = tRCD + tCAS
+		m.stats.RowMisses++
+	default:
+		act = tRP + tRCD + tCAS
+		m.stats.RowMisses++
+	}
+	dataStart := start + act
+	if dataStart < c.busFree {
+		dataStart = c.busFree
+	}
+	finish := dataStart + tBurst
+	b.openRow = row
+	b.freeAt = finish
+	c.busFree = finish
+	if r.done != nil {
+		m.eng.At(finish, r.done)
+	}
+	if len(c.pending) > 0 {
+		c.kicked = true
+		m.eng.At(finish, func() { c.kicked = false; m.kick(ch) })
+	}
+}

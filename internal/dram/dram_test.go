@@ -1,0 +1,132 @@
+package dram
+
+import (
+	"testing"
+
+	"tinydir/internal/sim"
+)
+
+func TestReadLatencyColdRowHitConflict(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, 1)
+	var t1, t2, t3 sim.Time
+
+	// Cold access: row closed -> tRCD + tCAS + tBurst.
+	m.Read(0, func() { t1 = e.Now() })
+	e.Run(0)
+	want := tRCD + tCAS + tBurst
+	if t1 != want {
+		t.Fatalf("cold read finished at %d, want %d", t1, want)
+	}
+
+	// Row hit: same row (block 1 shares bank 0? decode: blk/1 %8 = 1 -> bank 1).
+	// Use a block in the same bank and row: bank repeats every 8 blocks,
+	// row spans 128 blocks within a bank, so block 8 is bank 0 row 0.
+	start := e.Now()
+	m.Read(8, func() { t2 = e.Now() })
+	e.Run(0)
+	if t2-start != tCAS+tBurst {
+		t.Fatalf("row-hit latency %d, want %d", t2-start, tCAS+tBurst)
+	}
+
+	// Row conflict: bank 0, different row. Row stride within a bank is
+	// 8*128 = 1024 blocks.
+	start = e.Now()
+	m.Read(1024, func() { t3 = e.Now() })
+	e.Run(0)
+	if t3-start != tRP+tRCD+tCAS+tBurst {
+		t.Fatalf("row-conflict latency %d, want %d", t3-start, tRP+tRCD+tCAS+tBurst)
+	}
+
+	st := m.Stats()
+	if st.Reads != 3 || st.RowHits != 1 || st.RowMisses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBusSerialization(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, 1)
+	var done []sim.Time
+	// Two reads to different banks, same channel: activations overlap but
+	// bursts serialize on the data bus.
+	m.Read(0, func() { done = append(done, e.Now()) }) // bank 0
+	m.Read(1, func() { done = append(done, e.Now()) }) // bank 1
+	e.Run(0)
+	if len(done) != 2 {
+		t.Fatalf("completed %d", len(done))
+	}
+	if done[1] <= done[0] {
+		t.Fatal("bursts not serialized")
+	}
+}
+
+func TestFRFCFSPromotesRowHit(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, 1)
+	var order []uint64
+	// Prime bank 0 row 0 open.
+	m.Read(0, func() { order = append(order, 0) })
+	e.Run(0)
+	// Occupy the bus with a bank-1 access, then enqueue a row-conflict
+	// (bank 0 row 2) ahead of a row-hit (bank 0 row 0); both sit pending
+	// until the bus frees, at which point FR-FCFS promotes the hit.
+	m.Read(1, func() { order = append(order, 1) })       // bank 1, occupies bus
+	m.Read(2048, func() { order = append(order, 2048) }) // bank 0, row 2: conflict
+	m.Read(16, func() { order = append(order, 16) })     // bank 0, row 0: hit
+	e.Run(0)
+	if len(order) != 4 {
+		t.Fatalf("completed %v", order)
+	}
+	if order[2] != 16 || order[3] != 2048 {
+		t.Fatalf("row hit not promoted: order %v", order)
+	}
+	if st := m.Stats(); st.RowHits != 1 {
+		t.Fatalf("stats %+v, want exactly 1 row hit", st)
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, 8)
+	var times []sim.Time
+	for blk := uint64(0); blk < 8; blk++ {
+		m.Read(blk, func() { times = append(times, e.Now()) })
+	}
+	e.Run(0)
+	// All eight map to distinct channels and complete simultaneously.
+	for _, ts := range times {
+		if ts != times[0] {
+			t.Fatalf("channels interfered: %v", times)
+		}
+	}
+}
+
+func TestWriteConsumesBankTime(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, 1)
+	m.Write(0)
+	var t1 sim.Time
+	m.Read(8, func() { t1 = e.Now() }) // same bank/row as the write
+	e.Run(0)
+	// The read must wait for the write burst; a pure cold read would be
+	// tRCD+tCAS+tBurst, the write adds bus/bank occupancy beyond that.
+	if t1 <= tRCD+tCAS+tBurst {
+		t.Fatalf("read at %d not delayed by write", t1)
+	}
+	if m.Stats().Writes != 1 {
+		t.Fatal("write not counted")
+	}
+}
+
+func TestDecodeStable(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, 8)
+	seen := map[int]bool{}
+	for blk := uint64(0); blk < 64; blk++ {
+		seen[m.Channel(blk)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("interleaving covers %d channels, want 8", len(seen))
+	}
+}

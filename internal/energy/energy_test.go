@@ -1,0 +1,93 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAnchor(t *testing.T) {
+	s := Structure{Bytes: 32 * 1024, Ways: 0}
+	if got := s.ReadNJ(); got != anchorReadNJ {
+		t.Fatalf("anchor read %.4f, want %.4f", got, anchorReadNJ)
+	}
+	if got := s.LeakWatts(); got != anchorLeakWatts {
+		t.Fatalf("anchor leak %.4f", got)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	small := Structure{Bytes: 32 * 1024, Ways: 8}
+	big := Structure{Bytes: 8 * 1024 * 1024, Ways: 8}
+	if big.ReadNJ() <= small.ReadNJ() {
+		t.Fatal("bigger structure should cost more per read")
+	}
+	// Dynamic energy grows sublinearly, leakage linearly.
+	ratioDyn := big.ReadNJ() / small.ReadNJ()
+	ratioLeak := big.LeakWatts() / small.LeakWatts()
+	if ratioDyn >= ratioLeak {
+		t.Fatalf("dynamic ratio %.1f should be far below leakage ratio %.1f", ratioDyn, ratioLeak)
+	}
+	if ratioLeak != 256 {
+		t.Fatalf("leakage should scale linearly: %.1f", ratioLeak)
+	}
+}
+
+func TestAssociativityCost(t *testing.T) {
+	a := Structure{Bytes: 64 * 1024, Ways: 4}
+	b := Structure{Bytes: 64 * 1024, Ways: 16}
+	if b.ReadNJ() <= a.ReadNJ() {
+		t.Fatal("higher associativity should cost more")
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	m := Model{
+		LLCData: Structure{Bytes: 256 * 1024, Ways: 16},
+		LLCTags: Structure{Bytes: 16 * 1024, Ways: 16},
+		Dir:     Structure{Bytes: DirectoryBytes(4096, 187), Ways: 8},
+	}
+	a := Activity{
+		LLCTagReads: 1e6, LLCDataReads: 8e5, LLCDataWrites: 2e5,
+		DirReads: 1e6, DirWrites: 3e5,
+		Cycles: 1e8,
+	}
+	b := m.Energy(a)
+	if b.DynamicJ <= 0 || b.LeakageJ <= 0 {
+		t.Fatalf("non-positive energy: %+v", b)
+	}
+	if b.TotalJ() != b.DynamicJ+b.LeakageJ {
+		t.Fatal("TotalJ mismatch")
+	}
+	// Zero activity has zero dynamic energy but still leaks.
+	b0 := m.Energy(Activity{Cycles: 1e8})
+	if b0.DynamicJ != 0 || b0.LeakageJ <= 0 {
+		t.Fatalf("zero-activity breakdown wrong: %+v", b0)
+	}
+}
+
+// Property: energy is monotone in every activity component.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	m := Model{
+		LLCData: Structure{Bytes: 256 * 1024, Ways: 16},
+		LLCTags: Structure{Bytes: 16 * 1024, Ways: 16},
+		Dir:     Structure{Bytes: 64 * 1024, Ways: 8},
+	}
+	f := func(r1, r2 uint32, extra uint16) bool {
+		a := Activity{LLCTagReads: uint64(r1), LLCDataReads: uint64(r2), Cycles: 1e6}
+		b := a
+		b.LLCDataWrites += uint64(extra)
+		return m.Energy(b).TotalJ() >= m.Energy(a).TotalJ()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryBytes(t *testing.T) {
+	// 1/32x: 64 entries/slice x 128 slices x 187 bits (155 + 32-bit tag)
+	// should be about 187 KB total (paper Section V).
+	total := DirectoryBytes(64*128, 155+32)
+	if total < 180*1024 || total > 195*1024 {
+		t.Fatalf("1/32x directory storage %d bytes, want ~187 KB", total)
+	}
+}

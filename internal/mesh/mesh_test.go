@@ -1,0 +1,111 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tinydir/internal/sim"
+)
+
+func TestDist(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, Config{Width: 4, Height: 2})
+	cases := []struct{ a, b, want int }{
+		{0, 0, 1},  // local delivery still crosses the NI
+		{0, 1, 1},  // neighbors
+		{0, 3, 3},  // across a row
+		{0, 7, 4},  // corner to corner: dx=3, dy=1
+		{3, 4, 4},  // (3,0) -> (0,1)
+		{5, 5, 1},
+	}
+	for _, c := range cases {
+		if got := m.Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if m.Latency(0, 7) != sim.Time(4*HopCycles) {
+		t.Fatalf("Latency = %d", m.Latency(0, 7))
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, Config{Width: 16, Height: 8})
+	f := func(a, b uint8) bool {
+		x, y := int(a)%m.Nodes(), int(b)%m.Nodes()
+		d := m.Dist(x, y)
+		if d != m.Dist(y, x) {
+			return false
+		}
+		return d >= 1 && d <= 16+8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendDeliversAndAccounts(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, Config{Width: 4, Height: 4})
+	fired := false
+	at := m.Send(0, 15, DataBytes, Processor, func() { fired = true })
+	wantLat := sim.Time(m.Dist(0, 15) * HopCycles)
+	if at != wantLat {
+		t.Fatalf("delivery at %d, want %d", at, wantLat)
+	}
+	e.Run(0)
+	if !fired {
+		t.Fatal("message not delivered")
+	}
+	if m.TrafficBytes(Processor) != uint64(DataBytes*m.Dist(0, 15)) {
+		t.Fatalf("traffic %d", m.TrafficBytes(Processor))
+	}
+	if m.Messages(Processor) != 1 || m.Messages(Coherence) != 0 {
+		t.Fatal("message counters wrong")
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, Config{Width: 2, Height: 1, LinkBytesPerCycle: 8, ModelContention: true})
+	var t1, t2 sim.Time
+	m.Send(0, 1, 72, Processor, func() { t1 = e.Now() }) // occupancy 9 cycles
+	m.Send(0, 1, 72, Processor, func() { t2 = e.Now() })
+	e.Run(0)
+	if t2 <= t1 {
+		t.Fatalf("second message not delayed: t1=%d t2=%d", t1, t2)
+	}
+	if t2-t1 != 9 {
+		t.Fatalf("serialization gap %d, want 9", t2-t1)
+	}
+}
+
+func TestNoContentionByDefault(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, Config{Width: 2, Height: 1})
+	var t1, t2 sim.Time
+	m.Send(0, 1, 72, Processor, func() { t1 = e.Now() })
+	m.Send(0, 1, 72, Processor, func() { t2 = e.Now() })
+	e.Run(0)
+	if t1 != t2 {
+		t.Fatalf("unexpected serialization without contention model")
+	}
+}
+
+func TestAccount(t *testing.T) {
+	var e sim.Engine
+	m := New(&e, Config{Width: 4, Height: 2})
+	m.Account(0, 3, CtrlBytes, Writeback)
+	if m.TrafficBytes(Writeback) != uint64(CtrlBytes*3) {
+		t.Fatalf("Account traffic %d", m.TrafficBytes(Writeback))
+	}
+	if m.TotalTraffic() != m.TrafficBytes(Writeback) {
+		t.Fatal("TotalTraffic mismatch")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Processor.String() != "processor" || Writeback.String() != "writeback" || Coherence.String() != "coherence" {
+		t.Fatal("String names wrong")
+	}
+}

@@ -1,0 +1,100 @@
+// Package sim provides the discrete-event simulation engine that drives the
+// chip-multiprocessor model. Time is measured in core clock cycles (2 GHz in
+// the default configuration). Components schedule callbacks at absolute
+// cycles; the engine executes them in (time, sequence) order so that runs are
+// fully deterministic for a given input.
+package sim
+
+import "container/heap"
+
+// Time is an absolute simulation time in core cycles.
+type Time uint64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	nexec  uint64
+	halted bool
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nexec }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, because it would silently corrupt timing.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports whether any events remain.
+func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+
+// Halt stops Run before the next event is dispatched.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.nexec++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, Halt is called, or limit
+// events have run (limit 0 means no limit). It returns the number of events
+// executed by this call.
+func (e *Engine) Run(limit uint64) uint64 {
+	e.halted = false
+	var n uint64
+	for !e.halted && (limit == 0 || n < limit) {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same time: FIFO by schedule order
+	e.At(20, func() { got = append(got, 3) })
+	e.Run(0)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("final time %d, want 20", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []Time
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(4, func() { times = append(times, e.Now()) })
+	})
+	e.Run(0)
+	if len(times) != 2 || times[0] != 1 || times[1] != 5 {
+		t.Fatalf("times = %v, want [1 5]", times)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(0)
+}
+
+func TestEngineHalt(t *testing.T) {
+	var e Engine
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {
+			n++
+			if n == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run(0)
+	if n != 3 {
+		t.Fatalf("ran %d events after halt, want 3", n)
+	}
+	if e.Run(0) != 7 {
+		t.Fatalf("resume did not run remaining events")
+	}
+}
+
+func TestEngineLimit(t *testing.T) {
+	var e Engine
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {})
+	}
+	if got := e.Run(4); got != 4 {
+		t.Fatalf("Run(4) executed %d", got)
+	}
+	if !e.Pending() {
+		t.Fatal("queue should still have events")
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// scheduling order, and every scheduled event fires exactly once.
+func TestEngineTimeMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var e Engine
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run(0)
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// Multiset equality with the input delays.
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		var fired []Time
+		var add func(depth int)
+		add = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			e.After(Time(rng.Intn(50)), func() {
+				fired = append(fired, e.Now())
+				add(depth + 1)
+			})
+		}
+		for i := 0; i < 20; i++ {
+			add(0)
+		}
+		e.Run(0)
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	var e Engine
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64), func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,611 @@
+package system
+
+import (
+	"fmt"
+
+	"tinydir/internal/bitvec"
+	"tinydir/internal/cache"
+	"tinydir/internal/mesh"
+	"tinydir/internal/proto"
+	"tinydir/internal/sim"
+)
+
+// txn is an in-flight transaction holding a block busy at its home bank.
+type txn struct {
+	kind      proto.ReqKind
+	requester int
+	// next is the entry committed when the transaction completes
+	// (requester-completion transactions only; busy-clear transactions
+	// compute it from the owner's flags).
+	next proto.Entry
+	// pre is the pre-transaction entry captured at dispatch; busy-clear
+	// transactions derive the post state from it (the tracker's view may
+	// already have changed by the time the busy-clear arrives).
+	pre proto.Entry
+	// backInvalAcks > 0 marks a back-invalidation transaction.
+	backInvalAcks int
+}
+
+// bankNode is one LLC bank with its coherence-tracking slice.
+type bankNode struct {
+	sys     *System
+	id      int
+	llc     *proto.LLC
+	tracker proto.Tracker
+	busy    map[uint64]*txn
+}
+
+func newBankNode(sys *System, id int) *bankNode {
+	b := &bankNode{
+		sys:  sys,
+		id:   id,
+		llc:  cache.New[proto.LLCMeta](sys.cfg.LLCSets, sys.cfg.LLCWays, cache.LRU),
+		busy: map[uint64]*txn{},
+	}
+	b.llc.SetIndexShift(sys.cfg.bankShift())
+	b.tracker = sys.cfg.NewTracker(id)
+	b.tracker.Attach((*bankEnv)(b))
+	return b
+}
+
+// bankEnv adapts bankNode to proto.BankEnv.
+type bankEnv bankNode
+
+func (e *bankEnv) LLC() *proto.LLC  { return e.llc }
+func (e *bankEnv) Cores() int       { return e.sys.cfg.Cores }
+func (e *bankEnv) Now() sim.Time    { return e.sys.eng.Now() }
+func (e *bankEnv) BankID() int      { return e.id }
+func (e *bankEnv) BankShift() uint  { return e.sys.cfg.bankShift() }
+func (e *bankEnv) IsBusy(addr uint64) bool {
+	_, ok := e.busy[addr]
+	return ok
+}
+func (e *bankEnv) FindHolders(addr uint64) proto.Entry {
+	return (*bankNode)(e).sys.findHolders(addr)
+}
+
+// dataLine returns the valid LLC line holding addr as a data block
+// (skipping a spilled tracking entry with the same tag).
+func (b *bankNode) dataLine(addr uint64) *proto.LLCLine {
+	var dl *proto.LLCLine
+	b.llc.ScanSet(addr, func(l *proto.LLCLine) bool {
+		if l.Addr == addr && !l.Meta.Spill {
+			dl = l
+			return false
+		}
+		return true
+	})
+	return dl
+}
+
+// handleReq processes a demand request at the home bank.
+func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
+	m := &b.sys.metrics
+	if _, isBusy := b.busy[addr]; isBusy {
+		m.Nacks++
+		b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Processor, func() {
+			b.sys.cores[c].onNack(addr)
+		})
+		return
+	}
+	dl := b.dataLine(addr)
+	llcHit := dl != nil
+	view := b.tracker.Begin(addr, kind, llcHit)
+
+	m.LLCAccesses++
+	if !llcHit {
+		m.LLCMisses++
+	}
+	m.LLCTagReads++
+	if llcHit {
+		m.LLCDataReads++
+		dl.Meta.StatAccesses++
+		if kind.IsRead() && view.E.State == proto.Shared {
+			dl.Meta.StatSharedReads++
+		}
+		b.llc.Touch(dl)
+	}
+
+	// Lengthened critical path (Figs. 6/14/15): a read to a shared block
+	// that the 2x baseline would serve from the LLC in two hops, but this
+	// scheme must forward to an elected sharer.
+	if kind.IsRead() && view.E.State == proto.Shared && llcHit && !view.SupplyFromLLC {
+		if kind == proto.GetI {
+			m.LengthenedCode++
+		} else {
+			m.LengthenedData++
+		}
+		dl.Meta.Lengthened = true
+	}
+	if kind.IsRead() && view.E.State == proto.Shared && view.SpillHit {
+		m.SpillAvoided++
+	}
+
+	t := &txn{kind: kind, requester: c}
+	b.busy[addr] = t
+
+	lat := b.sys.cfg.LLCTagLat + sim.Time(view.ExtraLatency)
+	if llcHit {
+		lat += b.sys.cfg.LLCDataLat
+	}
+	if view.NeedBroadcast {
+		// Broadcast recovery (Stash): query every core and collect snoop
+		// responses before proceeding.
+		m.Broadcasts++
+		cores := b.sys.cfg.Cores
+		for i := 0; i < cores; i++ {
+			b.sys.net.Account(b.id, i, mesh.BroadcastPerDest, mesh.Coherence)
+			b.sys.net.Account(i, b.id, mesh.CtrlBytes, mesh.Coherence)
+		}
+		lat += sim.Time(2 * b.sys.maxDist * mesh.HopCycles)
+	}
+	b.sys.eng.After(lat, func() { b.dispatch(addr, kind, c, view) })
+}
+
+func (b *bankNode) dispatch(addr uint64, kind proto.ReqKind, c int, view proto.View) {
+	if t := b.busy[addr]; t != nil {
+		t.pre = view.E
+	}
+	e := view.E
+	switch kind {
+	case proto.GetS, proto.GetI:
+		b.dispatchRead(addr, kind, c, view)
+	case proto.GetX, proto.Upg:
+		b.dispatchWrite(addr, kind, c, view)
+	default:
+		panic(fmt.Sprintf("bank %d: dispatch of %v", b.id, e.State))
+	}
+}
+
+func (b *bankNode) dispatchRead(addr uint64, kind proto.ReqKind, c int, view proto.View) {
+	e := view.E
+	switch e.State {
+	case proto.Unowned:
+		grant := psE
+		next := proto.Entry{State: proto.Exclusive, Owner: c}
+		if kind == proto.GetI {
+			grant = psS
+			next = b.sharedEntry(c)
+		}
+		b.supplyFromLLCOrMem(addr, c, grant, next, kind)
+	case proto.Exclusive:
+		// Three-hop: forward to the owner; commit at busy-clear.
+		b.forward(addr, kind, c, e.Owner)
+	case proto.Shared:
+		next := e
+		next.Sharers = e.Sharers.Clone()
+		if !next.Sharers.Test(c) {
+			next.Sharers.Set(c)
+		}
+		dl := b.dataLine(addr)
+		if dl != nil && !view.SupplyFromLLC {
+			// Corrupted-shared: elect a sharer to supply (three hops).
+			s := b.electSharer(e.Sharers, c)
+			if s >= 0 {
+				b.forward(addr, kind, c, s)
+				return
+			}
+			// The only sharer is the requester itself (racing eviction);
+			// fall through to a memory supply.
+			b.fetchRespond(addr, c, psS, next, kind)
+			return
+		}
+		if dl != nil {
+			b.respond(addr, c, psS, 1, 0, false)
+			b.commitAndRelease(addr, kind, c, next)
+			return
+		}
+		// Tracked shared but not LLC-resident: clean copies exist, memory
+		// is current.
+		b.fetchRespond(addr, c, psS, next, kind)
+	}
+}
+
+func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view proto.View) {
+	e := view.E
+	switch e.State {
+	case proto.Unowned:
+		next := proto.Entry{State: proto.Exclusive, Owner: c}
+		b.supplyFromLLCOrMem(addr, c, psM, next, kind)
+	case proto.Exclusive:
+		b.forward(addr, kind, c, e.Owner)
+	case proto.Shared:
+		t := b.busy[addr]
+		needData := kind == proto.GetX || !e.Sharers.Test(c)
+		dl := b.dataLine(addr)
+		dataFromLLC := needData && view.SupplyFromLLC && dl != nil
+		var nAcks int
+		elect := -1
+		e.Sharers.ForEach(func(s int) {
+			if s != c {
+				nAcks++
+			}
+		})
+		if needData && !dataFromLLC {
+			elect = b.electSharer(e.Sharers, c)
+		}
+		if needData && !dataFromLLC && elect < 0 {
+			// No other sharer can supply; clean data lives in memory.
+			next := proto.Entry{State: proto.Exclusive, Owner: c}
+			b.fetchRespond(addr, c, psM, next, kind)
+			return
+		}
+		t.next = proto.Entry{State: proto.Exclusive, Owner: c}
+		if nAcks == 0 {
+			// Silent upgrade: the requester is the sole sharer.
+			mode := 0
+			if dataFromLLC {
+				mode = 1
+			}
+			b.respond(addr, c, psM, mode, 0, false)
+			b.commitAndRelease(addr, kind, c, t.next)
+			return
+		}
+		// Grant plus invalidations; the requester collects the acks and
+		// notifies the home when done (the block stays busy).
+		mode := 0
+		switch {
+		case dataFromLLC:
+			mode = 1
+		case needData:
+			mode = 2 // elected sharer's ack carries the block
+		}
+		b.respond(addr, c, psM, mode, nAcks, true)
+		e.Sharers.ForEach(func(s int) {
+			if s == c {
+				return
+			}
+			sc := b.sys.cores[s]
+			withData := s == elect
+			b.sys.net.Send(b.id, s, mesh.CtrlBytes, mesh.Coherence, func() {
+				sc.onInv(addr, c, -1, withData)
+			})
+		})
+	}
+}
+
+// sharedEntry builds a Shared entry with one sharer.
+func (b *bankNode) sharedEntry(c int) proto.Entry {
+	v := bitvec.New(b.sys.cfg.Cores)
+	v.Set(c)
+	return proto.Entry{State: proto.Shared, Sharers: v}
+}
+
+// electSharer picks the lowest-numbered sharer other than the requester.
+func (b *bankNode) electSharer(sharers bitvec.Vec, not int) int {
+	for s := sharers.First(); s >= 0; s = sharers.Next(s) {
+		if s != not {
+			return s
+		}
+	}
+	return -1
+}
+
+// supplyFromLLCOrMem answers a request to an unowned block.
+func (b *bankNode) supplyFromLLCOrMem(addr uint64, c int, grant privState, next proto.Entry, kind proto.ReqKind) {
+	if b.dataLine(addr) != nil {
+		b.respond(addr, c, grant, 1, 0, false)
+		b.commitAndRelease(addr, kind, c, next)
+		return
+	}
+	b.fetchRespond(addr, c, grant, next, kind)
+}
+
+// fetchRespond fetches the block from memory, fills the LLC, responds,
+// and commits. The block stays busy for the duration.
+func (b *bankNode) fetchRespond(addr uint64, c int, grant privState, next proto.Entry, kind proto.ReqKind) {
+	b.memFetch(addr, func() {
+		if line := b.fill(addr); line == nil {
+			// Could not allocate an LLC way (every candidate busy):
+			// NACK so the requester retries.
+			delete(b.busy, addr)
+			b.sys.metrics.Nacks++
+			b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Processor, func() {
+				b.sys.cores[c].onNack(addr)
+			})
+			return
+		}
+		b.respond(addr, c, grant, 1, 0, false)
+		b.commitAndRelease(addr, kind, c, next)
+	})
+}
+
+// forward sends a three-hop forward to the owner (or elected sharer);
+// the commit happens at busy-clear.
+func (b *bankNode) forward(addr uint64, kind proto.ReqKind, c, owner int) {
+	b.sys.metrics.Forwards++
+	oc := b.sys.cores[owner]
+	b.sys.net.Send(b.id, owner, mesh.CtrlBytes, mesh.Coherence, func() {
+		oc.onFwd(addr, kind, c, b.id)
+	})
+}
+
+// respond sends the home bank's grant to the requester.
+func (b *bankNode) respond(addr uint64, c int, grant privState, dataMode, wantAcks int, notify bool) {
+	bytes := mesh.CtrlBytes
+	if dataMode == 1 {
+		bytes = mesh.DataBytes
+	}
+	cc := b.sys.cores[c]
+	b.sys.net.Send(b.id, c, bytes, mesh.Processor, func() {
+		cc.onGrant(addr, grant, dataMode, wantAcks, notify)
+	})
+}
+
+// commitAndRelease commits the post-transaction state now and releases
+// the busy marker one cycle after the response lands at the requester
+// (so a forward can never outrun the fill).
+func (b *bankNode) commitAndRelease(addr uint64, kind proto.ReqKind, from int, next proto.Entry) {
+	b.commit(addr, kind, from, next)
+	release := b.sys.net.Latency(b.id, from) + 1
+	b.sys.eng.After(release, func() { delete(b.busy, addr) })
+}
+
+// onFwdMiss restarts a transaction whose forward found no copy at the
+// presumed owner (a stale oracle view that raced an in-flight eviction
+// acknowledgement). The block is still busy; re-evaluate against the
+// tracker's current state and dispatch again.
+func (b *bankNode) onFwdMiss(addr uint64, kind proto.ReqKind, c int) {
+	if b.busy[addr] == nil {
+		panic(fmt.Sprintf("bank %d: forward-miss for idle block %#x", b.id, addr))
+	}
+	b.sys.metrics.FwdMisses++
+	dl := b.dataLine(addr)
+	view := b.tracker.Begin(addr, kind, dl != nil)
+	lat := b.sys.cfg.LLCTagLat + sim.Time(view.ExtraLatency)
+	if dl != nil {
+		lat += b.sys.cfg.LLCDataLat
+	}
+	b.sys.eng.After(lat, func() { b.dispatch(addr, kind, c, view) })
+}
+
+// onBusyClear completes a three-hop transaction.
+func (b *bankNode) onBusyClear(addr uint64, retained, copybackDirty bool) {
+	t := b.busy[addr]
+	if t == nil {
+		panic(fmt.Sprintf("bank %d: busy-clear for idle block %#x", b.id, addr))
+	}
+	if copybackDirty {
+		if dl := b.dataLine(addr); dl != nil {
+			dl.Meta.Dirty = true
+			b.sys.metrics.LLCDataWrites++
+		} else {
+			b.sys.mem.Write(addr)
+		}
+	}
+	var next proto.Entry
+	if t.kind.IsRead() {
+		// The previous owner (or elected sharer) may retain an S copy.
+		v := bitvec.New(b.sys.cfg.Cores)
+		switch t.pre.State {
+		case proto.Shared:
+			v = t.pre.Sharers.Clone()
+		case proto.Exclusive:
+			if retained {
+				v.Set(t.pre.Owner)
+			}
+		}
+		v.Set(t.requester)
+		next = proto.Entry{State: proto.Shared, Sharers: v}
+	} else {
+		next = proto.Entry{State: proto.Exclusive, Owner: t.requester}
+	}
+	b.commit(addr, t.kind, t.requester, next)
+	delete(b.busy, addr)
+}
+
+// onComplete finishes a requester-completion transaction (GetX/Upg with
+// invalidations).
+func (b *bankNode) onComplete(addr uint64) {
+	t := b.busy[addr]
+	if t == nil {
+		panic(fmt.Sprintf("bank %d: completion for idle block %#x", b.id, addr))
+	}
+	b.commit(addr, t.kind, t.requester, t.next)
+	delete(b.busy, addr)
+}
+
+// commit pushes the post-transaction state into the tracker and executes
+// the side effects.
+func (b *bankNode) commit(addr uint64, kind proto.ReqKind, from int, next proto.Entry) {
+	// Ensure tracked blocks granted to cores are LLC-resident (fill on
+	// miss); three-hop paths may commit without a line for schemes that
+	// keep state outside the LLC.
+	if dl := b.dataLine(addr); dl != nil && next.State == proto.Shared {
+		if n := next.Sharers.Count(); n > dl.Meta.MaxSharers {
+			dl.Meta.MaxSharers = n
+		}
+	} else if dl != nil && next.State == proto.Exclusive && dl.Meta.MaxSharers < 1 {
+		dl.Meta.MaxSharers = 1
+	}
+	eff := b.tracker.Commit(addr, kind, from, next)
+	b.apply(eff)
+}
+
+// apply executes tracker side effects.
+func (b *bankNode) apply(eff proto.Effects) {
+	m := &b.sys.metrics
+	m.LLCStateWrites += uint64(eff.LLCStateWrites)
+	for _, core := range eff.ReconFromCores {
+		b.sys.net.Account(core, b.id, mesh.ReconBitsBytes, mesh.Writeback)
+		m.ReconMsgs++
+	}
+	for _, wb := range eff.LLCWritebacks {
+		b.sys.net.Account(b.id, b.sys.memTile(wb), mesh.DataBytes, mesh.Writeback)
+		b.sys.mem.Write(wb)
+	}
+	for _, v := range eff.BackInvals {
+		b.backInvalidate(v)
+	}
+}
+
+// backInvalidate invalidates every private copy of a victim block whose
+// tracking entry was displaced. The block is held busy until all
+// acknowledgements return.
+func (b *bankNode) backInvalidate(v proto.Victim) {
+	holders := make([]int, 0, 8)
+	switch v.E.State {
+	case proto.Exclusive:
+		holders = append(holders, v.E.Owner)
+	case proto.Shared:
+		v.E.Sharers.ForEach(func(s int) { holders = append(holders, s) })
+	}
+	if len(holders) == 0 {
+		return
+	}
+	b.sys.metrics.BackInvals++
+	if _, isBusy := b.busy[v.Addr]; isBusy {
+		panic(fmt.Sprintf("bank %d: back-invalidation of busy block %#x", b.id, v.Addr))
+	}
+	t := &txn{backInvalAcks: len(holders)}
+	b.busy[v.Addr] = t
+	for _, h := range holders {
+		hc := b.sys.cores[h]
+		addr := v.Addr
+		b.sys.net.Send(b.id, h, mesh.CtrlBytes, mesh.Coherence, func() {
+			hc.onInv(addr, -1, b.id, false)
+		})
+	}
+}
+
+func (b *bankNode) onBackInvAck(addr uint64) {
+	t := b.busy[addr]
+	if t == nil || t.backInvalAcks == 0 {
+		panic(fmt.Sprintf("bank %d: unexpected back-inval ack for %#x", b.id, addr))
+	}
+	t.backInvalAcks--
+	if t.backInvalAcks == 0 {
+		delete(b.busy, addr)
+	}
+}
+
+// onWbData receives dirty data retrieved by a back-invalidation.
+func (b *bankNode) onWbData(addr uint64) {
+	if dl := b.dataLine(addr); dl != nil && !dl.Meta.Corrupted {
+		dl.Meta.Dirty = true
+		b.sys.metrics.LLCDataWrites++
+		return
+	}
+	b.sys.net.Account(b.id, b.sys.memTile(addr), mesh.DataBytes, mesh.Writeback)
+	b.sys.mem.Write(addr)
+}
+
+// handleEvict processes an eviction notice from a private cache.
+func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int) {
+	m := &b.sys.metrics
+	if _, isBusy := b.busy[addr]; isBusy {
+		m.Nacks++
+		b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Writeback, func() {
+			b.sys.cores[c].onEvictNack(addr)
+		})
+		return
+	}
+	dl := b.dataLine(addr)
+	view := b.tracker.Begin(addr, kind, dl != nil)
+	e := view.E
+
+	holds := (e.State == proto.Exclusive && e.Owner == c) ||
+		(e.State == proto.Shared && e.Sharers.Test(c))
+	if holds {
+		var next proto.Entry
+		if e.State == proto.Shared {
+			v := e.Sharers.Clone()
+			v.Clear(c)
+			if v.Empty() {
+				next = proto.Entry{State: proto.Unowned}
+			} else {
+				next = proto.Entry{State: proto.Shared, Sharers: v}
+			}
+		} else {
+			next = proto.Entry{State: proto.Unowned}
+		}
+		if kind == proto.PutM {
+			if dl != nil {
+				dl.Meta.Dirty = true
+				m.LLCDataWrites++
+			} else if line := b.fill(addr); line != nil {
+				line.Meta.Dirty = true
+				m.LLCDataWrites++
+			} else {
+				b.sys.net.Account(b.id, b.sys.memTile(addr), mesh.DataBytes, mesh.Writeback)
+				b.sys.mem.Write(addr)
+			}
+		}
+		b.commit(addr, kind, c, next)
+	}
+	// Acknowledge so the core releases its eviction buffer. Stale
+	// notices (the copy was invalidated while the notice was in flight)
+	// are acknowledged without a commit.
+	b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Writeback, func() {
+		b.sys.cores[c].onEvictAck(addr)
+	})
+}
+
+// memFetch reads a block from the owning memory controller.
+func (b *bankNode) memFetch(addr uint64, done func()) {
+	tile := b.sys.memTile(addr)
+	b.sys.metrics.MemReads++
+	b.sys.net.Send(b.id, tile, mesh.CtrlBytes, mesh.Processor, func() {
+		b.sys.mem.Read(addr, func() {
+			b.sys.net.Send(tile, b.id, mesh.DataBytes, mesh.Processor, done)
+		})
+	})
+}
+
+// fill allocates an LLC line for addr (fill on miss / writeback
+// allocate), executing victim side effects. Returns nil when every
+// candidate way belongs to a busy block.
+func (b *bankNode) fill(addr uint64) *proto.LLCLine {
+	if dl := b.dataLine(addr); dl != nil {
+		b.llc.Touch(dl)
+		return dl
+	}
+	v := b.llc.VictimWhere(addr, func(l *proto.LLCLine) bool {
+		return l.Valid && (*bankEnv)(b).IsBusy(l.Addr)
+	})
+	if v == nil {
+		return nil
+	}
+	if v.Valid {
+		b.harvestLineStats(&v.Meta)
+		eff := b.tracker.OnLLCVictim(v)
+		b.apply(eff)
+		if v.Meta.Dirty && !v.Meta.Spill && !v.Meta.Corrupted {
+			b.sys.net.Account(b.id, b.sys.memTile(v.Addr), mesh.DataBytes, mesh.Writeback)
+			b.sys.mem.Write(v.Addr)
+		}
+		b.sys.metrics.LLCEvictions++
+	}
+	b.llc.Replace(v, addr)
+	b.sys.metrics.LLCFills++
+	return v
+}
+
+// harvestLineStats folds one retiring LLC line's census counters into the
+// Fig. 2 / 7 / 8 histograms.
+func (b *bankNode) harvestLineStats(meta *proto.LLCMeta) {
+	m := &b.sys.metrics
+	m.AllocatedBlocks++
+	switch {
+	case meta.MaxSharers >= 17:
+		m.SharerBins[3]++
+	case meta.MaxSharers >= 9:
+		m.SharerBins[2]++
+	case meta.MaxSharers >= 5:
+		m.SharerBins[1]++
+	case meta.MaxSharers >= 2:
+		m.SharerBins[0]++
+	}
+	if meta.Lengthened {
+		m.LengthenedBlocks++
+	}
+}
+
+// finalHarvest sweeps lines still resident at end of simulation.
+func (b *bankNode) finalHarvest() {
+	b.llc.ForEach(func(l *proto.LLCLine) {
+		if !l.Meta.Spill {
+			b.harvestLineStats(&l.Meta)
+		}
+	})
+}

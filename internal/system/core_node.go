@@ -1,0 +1,463 @@
+package system
+
+import (
+	"fmt"
+
+	"tinydir/internal/cache"
+	"tinydir/internal/mesh"
+	"tinydir/internal/proto"
+	"tinydir/internal/sim"
+	"tinydir/internal/trace"
+)
+
+// privState is the MESI state of a block in a private cache.
+type privState uint8
+
+const (
+	psI privState = iota
+	psS
+	psE
+	psM
+)
+
+type privMeta struct{ st privState }
+
+// outstanding tracks the single in-flight demand miss of a core.
+type outstanding struct {
+	addr   uint64
+	kind   proto.ReqKind
+	ifetch bool
+
+	hasGrant   bool
+	grantState privState
+	wantAcks   int // -1 until the grant arrives
+	acks       int
+	hasData    bool
+	dataMode   int // 0 none needed, 1 with grant, 2 separate message
+	notifyHome bool
+	done       bool
+}
+
+// coreNode is one tile's core plus its private cache hierarchy.
+type coreNode struct {
+	sys  *System
+	id   int
+	l1i  *cache.Cache[privMeta]
+	l1d  *cache.Cache[privMeta]
+	l2   *cache.Cache[privMeta]
+	refs []trace.Ref
+	pos  int
+
+	out      *outstanding
+	evictBuf map[uint64]privState
+
+	// pendingFwd queues a forwarded request that raced ahead of this
+	// core's own fill for the same block; pendingInvs queues
+	// invalidations in the same situation (GS320-style late handling).
+	pendingFwd  map[uint64]fwdReq
+	pendingInvs map[uint64][]invReq
+
+	finished bool
+	finishAt sim.Time
+	retries  uint64
+}
+
+type fwdReq struct {
+	kind      proto.ReqKind
+	requester int
+	bank      int
+}
+
+type invReq struct {
+	ackTo    int // core id to ack (GetX collection), or -1
+	ackBank  int // bank id to ack (back-invalidation), or -1
+	withData bool
+}
+
+func newCoreNode(sys *System, id int, refs []trace.Ref) *coreNode {
+	cfg := sys.cfg
+	c := &coreNode{
+		sys:         sys,
+		id:          id,
+		l1i:         cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
+		l1d:         cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
+		l2:          cache.New[privMeta](cfg.L2Sets, cfg.L2Ways, cache.LRU),
+		refs:        refs,
+		evictBuf:    map[uint64]privState{},
+		pendingFwd:  map[uint64]fwdReq{},
+		pendingInvs: map[uint64][]invReq{},
+	}
+	return c
+}
+
+// step replays trace references. Private-cache hits are batched inside a
+// single event (they cannot affect shared state); the loop breaks when a
+// miss must go to the home bank or the trace ends.
+func (c *coreNode) step() {
+	eng := c.sys.eng
+	var elapsed sim.Time
+	for {
+		if c.pos >= len(c.refs) {
+			c.finished = true
+			c.finishAt = eng.Now() + elapsed
+			c.sys.coreFinished()
+			return
+		}
+		ref := c.refs[c.pos]
+		elapsed += sim.Time(ref.Gap)
+		l1 := c.l1d
+		if ref.Kind == trace.Ifetch {
+			l1 = c.l1i
+		}
+		if l := l1.Lookup(ref.Addr); l != nil {
+			if ref.Kind != trace.Store || l.Meta.st == psM || l.Meta.st == psE {
+				// Plain hit (E->M upgrade is silent).
+				l1.Touch(l)
+				if ref.Kind == trace.Store {
+					l.Meta.st = psM
+					if l2l := c.l2.Lookup(ref.Addr); l2l != nil {
+						l2l.Meta.st = psM
+					}
+				}
+				elapsed += c.sys.cfg.L1Lat
+				c.pos++
+				c.sys.metrics.L1Hits++
+				continue
+			}
+			// Store to an S line: upgrade required (treated as a miss).
+		} else if l2l := c.l2.Lookup(ref.Addr); l2l != nil &&
+			(ref.Kind != trace.Store || l2l.Meta.st == psM || l2l.Meta.st == psE) {
+			// L2 hit: fill L1 (silent L1 eviction).
+			c.l2.Touch(l2l)
+			if ref.Kind == trace.Store {
+				l2l.Meta.st = psM
+			}
+			nl, _, _ := l1.Insert(ref.Addr)
+			nl.Meta.st = l2l.Meta.st
+			elapsed += c.sys.cfg.L1Lat + c.sys.cfg.L2Lat
+			c.pos++
+			c.sys.metrics.L2Hits++
+			continue
+		}
+		// Miss: issue a request after the accumulated hit time.
+		kind := proto.GetS
+		switch {
+		case ref.Kind == trace.Ifetch:
+			kind = proto.GetI
+		case ref.Kind == trace.Store:
+			kind = proto.GetX
+			if l := c.l2.Lookup(ref.Addr); l != nil && l.Meta.st == psS {
+				kind = proto.Upg
+			} else if l := c.l1d.Lookup(ref.Addr); l != nil && l.Meta.st == psS {
+				kind = proto.Upg
+			}
+		}
+		c.out = &outstanding{
+			addr:     ref.Addr,
+			kind:     kind,
+			ifetch:   ref.Kind == trace.Ifetch,
+			wantAcks: -1,
+		}
+		c.sys.metrics.PrivateMisses++
+		addr := ref.Addr
+		eng.After(elapsed+c.sys.cfg.L1Lat+c.sys.cfg.L2Lat, func() { c.sendReq(addr) })
+		return
+	}
+}
+
+func (c *coreNode) sendReq(addr uint64) {
+	b := c.sys.bankOf(addr)
+	kind := c.out.kind
+	c.sys.net.Send(c.id, b.id, mesh.CtrlBytes, mesh.Processor, func() {
+		b.handleReq(addr, kind, c.id)
+	})
+}
+
+// onNack retries the request after a backoff (the paper's NACK/retry
+// traffic).
+func (c *coreNode) onNack(addr uint64) {
+	if c.out == nil || c.out.addr != addr || c.out.done {
+		return
+	}
+	c.retries++
+	c.sys.metrics.Retries++
+	c.sys.eng.After(c.sys.cfg.NackRetry, func() {
+		if c.out != nil && c.out.addr == addr && !c.out.done {
+			c.sendReq(addr)
+		}
+	})
+}
+
+// onGrant receives the home bank's response.
+func (c *coreNode) onGrant(addr uint64, st privState, dataMode, wantAcks int, notify bool) {
+	o := c.out
+	if o == nil || o.addr != addr || o.done {
+		panic(fmt.Sprintf("core %d: grant for unexpected block %#x", c.id, addr))
+	}
+	o.hasGrant = true
+	o.grantState = st
+	o.dataMode = dataMode
+	o.wantAcks = wantAcks
+	o.notifyHome = notify
+	if dataMode == 1 {
+		o.hasData = true
+	}
+	c.maybeComplete()
+}
+
+// onOwnerData receives a three-hop data response from the owner or an
+// elected sharer.
+func (c *coreNode) onOwnerData(addr uint64, st privState) {
+	o := c.out
+	if o == nil || o.addr != addr || o.done {
+		panic(fmt.Sprintf("core %d: owner data for unexpected block %#x", c.id, addr))
+	}
+	o.hasGrant = true
+	o.grantState = st
+	o.hasData = true
+	if o.wantAcks < 0 {
+		o.wantAcks = 0
+	}
+	c.maybeComplete()
+}
+
+// onInvAck collects an invalidation acknowledgement (GetX/Upg path); one
+// of them may carry the data block when the LLC could not supply it.
+func (c *coreNode) onInvAck(addr uint64, withData bool) {
+	o := c.out
+	if o == nil || o.addr != addr || o.done {
+		panic(fmt.Sprintf("core %d: inv-ack for unexpected block %#x", c.id, addr))
+	}
+	o.acks++
+	if withData {
+		o.hasData = true
+	}
+	c.maybeComplete()
+}
+
+func (c *coreNode) maybeComplete() {
+	o := c.out
+	if !o.hasGrant || o.done {
+		return
+	}
+	if o.wantAcks >= 0 && o.acks < o.wantAcks {
+		return
+	}
+	if o.dataMode != 0 && !o.hasData {
+		return
+	}
+	o.done = true
+	c.fill(o.addr, o.grantState, o.ifetch)
+	if o.notifyHome {
+		b := c.sys.bankOf(o.addr)
+		c.sys.net.Send(c.id, b.id, mesh.CtrlBytes, mesh.Coherence, func() {
+			b.onComplete(o.addr)
+		})
+	}
+	c.out = nil
+	c.pos++
+	// Serve any forwarded request / invalidations that raced ahead.
+	if f, ok := c.pendingFwd[o.addr]; ok {
+		delete(c.pendingFwd, o.addr)
+		c.onFwd(o.addr, f.kind, f.requester, f.bank)
+	}
+	if invs, ok := c.pendingInvs[o.addr]; ok {
+		delete(c.pendingInvs, o.addr)
+		for _, iv := range invs {
+			c.onInv(o.addr, iv.ackTo, iv.ackBank, iv.withData)
+		}
+	}
+	c.step()
+}
+
+// fill installs a granted block into L2 and the appropriate L1,
+// generating an eviction notice for a displaced L2 block.
+func (c *coreNode) fill(addr uint64, st privState, ifetch bool) {
+	l2l, ev, had := c.l2.Insert(addr)
+	if had {
+		// The directory tracks L2 contents: invalidate the L1 copy and
+		// notify the home bank.
+		c.l1d.Invalidate(ev.Addr)
+		c.l1i.Invalidate(ev.Addr)
+		c.sendEvict(ev.Addr, ev.Meta.st)
+	}
+	if l2l == nil {
+		panic("core: L2 insert failed")
+	}
+	l2l.Meta.st = st
+	l1 := c.l1d
+	if ifetch {
+		l1 = c.l1i
+	}
+	l1l, _, _ := l1.Insert(addr)
+	l1l.Meta.st = st
+}
+
+func (c *coreNode) sendEvict(addr uint64, st privState) {
+	c.evictBuf[addr] = st
+	c.transmitEvict(addr)
+}
+
+func (c *coreNode) transmitEvict(addr uint64) {
+	st, ok := c.evictBuf[addr]
+	if !ok {
+		return // invalidated while the notice was pending
+	}
+	kind := proto.PutS
+	bytes := mesh.CtrlBytes
+	switch st {
+	case psE:
+		kind = proto.PutE
+	case psM:
+		kind = proto.PutM
+		bytes = mesh.DataBytes
+	}
+	b := c.sys.bankOf(addr)
+	c.sys.net.Send(c.id, b.id, bytes, mesh.Writeback, func() {
+		b.handleEvict(addr, kind, c.id)
+	})
+}
+
+func (c *coreNode) onEvictNack(addr uint64) {
+	c.sys.metrics.Retries++
+	c.sys.eng.After(c.sys.cfg.NackRetry, func() { c.transmitEvict(addr) })
+}
+
+func (c *coreNode) onEvictAck(addr uint64) {
+	delete(c.evictBuf, addr)
+}
+
+// onFwd serves a request forwarded by the home bank: this core is the
+// exclusive owner (or the elected sharer) and must supply the data.
+func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
+	if c.out != nil && c.out.addr == addr && !c.out.done && c.out.hasGrant && requester != c.id {
+		// Our own granted fill for this block is still in flight: the
+		// forward raced ahead of the data. Defer until completion. (If
+		// the request is still being NACKed, or the forward names us as
+		// requester, our copy sits in the eviction buffer — serve it now
+		// or the home bank's transaction deadlocks.)
+		c.pendingFwd[addr] = fwdReq{kind: kind, requester: requester, bank: bank}
+		return
+	}
+	st := psI
+	retained := true
+	if l := c.l2.Lookup(addr); l != nil {
+		st = l.Meta.st
+		if kind == proto.GetX || kind == proto.Upg {
+			c.l2.Invalidate(addr)
+			c.l1d.Invalidate(addr)
+			c.l1i.Invalidate(addr)
+			retained = false
+		} else {
+			l.Meta.st = psS
+			if dl := c.l1d.Lookup(addr); dl != nil {
+				dl.Meta.st = psS
+			}
+			if il := c.l1i.Lookup(addr); il != nil {
+				il.Meta.st = psS
+			}
+		}
+	} else if bst, ok := c.evictBuf[addr]; ok {
+		// Late intervention: serve from the eviction buffer (GS320).
+		st = bst
+		retained = false
+	} else {
+		// Stale forward: the oracle-based schemes (MgD regions, Stash
+		// broadcast) can observe an eviction-buffer copy whose
+		// acknowledgement is already in flight; by the time the forward
+		// lands, the copy is gone. Ask the home bank to re-evaluate the
+		// transaction against its now-current state.
+		bk := c.sys.banks[bank]
+		c.sys.net.Send(c.id, bank, mesh.CtrlBytes, mesh.Coherence, func() {
+			bk.onFwdMiss(addr, kind, requester)
+		})
+		return
+	}
+
+	grant := psS
+	if kind == proto.GetX || kind == proto.Upg {
+		grant = psM
+	}
+	req := c.sys.cores[requester]
+	c.sys.net.Send(c.id, requester, mesh.DataBytes, mesh.Processor, func() {
+		req.onOwnerData(addr, grant)
+	})
+	// Busy-clear to the home bank; an M->S downgrade ships the dirty data
+	// back to the LLC with it.
+	dirty := st == psM && kind.IsRead()
+	bytes := mesh.CtrlBytes
+	if dirty {
+		bytes = mesh.DataBytes
+	}
+	bk := c.sys.banks[bank]
+	c.sys.net.Send(c.id, bank, bytes, mesh.Coherence, func() {
+		bk.onBusyClear(addr, retained, dirty)
+	})
+}
+
+// onInv invalidates this core's copy. ackTo >= 0 directs the
+// acknowledgement to a requesting core (GetX collection); ackBank >= 0
+// directs it to the home bank (back-invalidation). withData elects this
+// core to ship the block to the requester.
+func (c *coreNode) onInv(addr uint64, ackTo, ackBank int, withData bool) {
+	if c.out != nil && c.out.addr == addr && !c.out.done {
+		if c.out.hasGrant {
+			// Our fill was granted but the data is still in flight:
+			// apply the invalidation right after completion.
+			c.pendingInvs[addr] = append(c.pendingInvs[addr], invReq{ackTo: ackTo, ackBank: ackBank, withData: withData})
+			return
+		}
+		// Our request is still being NACKed: another core won the race.
+		// Drop our copy now (below) and escalate a pending upgrade to a
+		// full read-exclusive, since the data is gone. Deferring the ack
+		// here would deadlock the winner's transaction.
+		if c.out.kind == proto.Upg {
+			c.out.kind = proto.GetX
+		}
+	}
+	wasM := false
+	if l, ok := c.l2.Invalidate(addr); ok {
+		wasM = l.Meta.st == psM
+	}
+	c.l1d.Invalidate(addr)
+	c.l1i.Invalidate(addr)
+	if st, ok := c.evictBuf[addr]; ok {
+		wasM = wasM || st == psM
+		delete(c.evictBuf, addr) // the pending notice becomes stale
+	}
+	if wasM && ackBank >= 0 {
+		// Dirty data retrieved by a back-invalidation.
+		bk := c.sys.banks[ackBank]
+		c.sys.net.Send(c.id, ackBank, mesh.DataBytes, mesh.Writeback, func() {
+			bk.onWbData(addr)
+		})
+	}
+	switch {
+	case ackTo >= 0:
+		bytes := mesh.CtrlBytes
+		if withData {
+			bytes = mesh.DataBytes
+		}
+		req := c.sys.cores[ackTo]
+		c.sys.net.Send(c.id, ackTo, bytes, mesh.Coherence, func() {
+			req.onInvAck(addr, withData)
+		})
+	case ackBank >= 0:
+		bk := c.sys.banks[ackBank]
+		c.sys.net.Send(c.id, ackBank, mesh.CtrlBytes, mesh.Coherence, func() {
+			bk.onBackInvAck(addr)
+		})
+	}
+}
+
+// holds reports the core's private state for a block (the broadcast
+// oracle's probe).
+func (c *coreNode) holds(addr uint64) privState {
+	if l := c.l2.Lookup(addr); l != nil {
+		return l.Meta.st
+	}
+	if st, ok := c.evictBuf[addr]; ok {
+		return st
+	}
+	return psI
+}

@@ -1,0 +1,90 @@
+package system
+
+// Metrics aggregates everything the experiment harness needs to
+// regenerate the paper's figures.
+type Metrics struct {
+	// Cycles is the execution time: the cycle at which the last core
+	// retired its trace slice.
+	Cycles uint64
+
+	L1Hits, L2Hits, PrivateMisses uint64
+
+	LLCAccesses, LLCMisses  uint64
+	LLCFills, LLCEvictions  uint64
+	LLCTagReads             uint64
+	LLCDataReads            uint64
+	LLCDataWrites           uint64
+	LLCStateWrites          uint64 // data-array writes for in-LLC coherence state
+
+	Nacks, Retries, Forwards uint64
+	// FwdMisses counts forwards that found no copy (stale oracle views
+	// racing eviction acknowledgements) and restarted their transaction.
+	FwdMisses uint64
+	BackInvals, Broadcasts   uint64
+	ReconMsgs                uint64
+	MemReads                 uint64
+
+	// LengthenedCode/Data count LLC accesses whose critical path grew to
+	// three hops versus the 2x baseline (Figs. 6/14/15).
+	LengthenedCode, LengthenedData uint64
+	// SpillAvoided counts shared reads served two-hop thanks to a
+	// spilled tracking entry (Fig. 19).
+	SpillAvoided uint64
+
+	// AllocatedBlocks counts LLC line residencies; SharerBins is the
+	// Fig. 2 census over them ([2-4],[5-8],[9-16],[17-128]);
+	// LengthenedBlocks is the Fig. 7 numerator.
+	AllocatedBlocks  uint64
+	SharerBins       [4]uint64
+	LengthenedBlocks uint64
+
+	// TrafficBytes are bytes x hops per Fig. 5 class
+	// (processor/writeback/coherence).
+	TrafficBytes [3]uint64
+
+	// Tracker holds scheme-specific counters (tiny.hits, dir.victims,
+	// stra.accessCat1..7, ...).
+	Tracker map[string]uint64
+
+	DRAMReads, DRAMWrites, DRAMRowHits uint64
+}
+
+// LLCMissRate returns demand misses over demand accesses.
+func (m Metrics) LLCMissRate() float64 {
+	if m.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(m.LLCMisses) / float64(m.LLCAccesses)
+}
+
+// LengthenedFrac returns the fraction of LLC accesses with a lengthened
+// critical path.
+func (m Metrics) LengthenedFrac() float64 {
+	if m.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(m.LengthenedCode+m.LengthenedData) / float64(m.LLCAccesses)
+}
+
+// SpillAvoidedFrac returns the fraction of LLC accesses saved from
+// lengthening by spilled entries (Fig. 19).
+func (m Metrics) SpillAvoidedFrac() float64 {
+	if m.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(m.SpillAvoided) / float64(m.LLCAccesses)
+}
+
+// LengthenedBlockFrac returns the fraction of allocated LLC blocks that
+// sourced lengthened accesses (Fig. 7).
+func (m Metrics) LengthenedBlockFrac() float64 {
+	if m.AllocatedBlocks == 0 {
+		return 0
+	}
+	return float64(m.LengthenedBlocks) / float64(m.AllocatedBlocks)
+}
+
+// TotalTraffic returns bytes x hops summed over classes.
+func (m Metrics) TotalTraffic() uint64 {
+	return m.TrafficBytes[0] + m.TrafficBytes[1] + m.TrafficBytes[2]
+}

@@ -1,0 +1,241 @@
+package system
+
+import (
+	"fmt"
+
+	"tinydir/internal/bitvec"
+	"tinydir/internal/cache"
+	"tinydir/internal/dram"
+	"tinydir/internal/mesh"
+	"tinydir/internal/proto"
+	"tinydir/internal/sim"
+	"tinydir/internal/trace"
+)
+
+// System is one fully-wired simulated machine.
+type System struct {
+	cfg   Config
+	eng   *sim.Engine
+	net   *mesh.Mesh
+	mem   *dram.Memory
+	cores []*coreNode
+	banks []*bankNode
+
+	memTiles []int
+	maxDist  int
+
+	running  int
+	metrics  Metrics
+}
+
+// New builds a system and loads the per-core traces.
+func New(cfg Config, traces [][]trace.Ref) *System {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if len(traces) != cfg.Cores {
+		panic("system: trace count != cores")
+	}
+	s := &System{cfg: cfg, eng: &sim.Engine{}}
+	w, h := meshDims(cfg.Cores)
+	s.net = mesh.New(s.eng, mesh.Config{Width: w, Height: h, ModelContention: cfg.ModelContention})
+	s.maxDist = w + h
+	s.mem = dram.New(s.eng, cfg.MemChannels)
+	// Memory controllers sit on evenly spaced tiles.
+	for ch := 0; ch < cfg.MemChannels; ch++ {
+		s.memTiles = append(s.memTiles, ch*(cfg.Cores/cfg.MemChannels))
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.banks = append(s.banks, newBankNode(s, i))
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, newCoreNode(s, i, traces[i]))
+	}
+	return s
+}
+
+// Engine exposes the event engine (tests drive it directly).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// bankOf returns the home bank of a block address.
+func (s *System) bankOf(addr uint64) *bankNode {
+	return s.banks[int(addr%uint64(s.cfg.Cores))]
+}
+
+// memTile returns the tile of the memory controller owning addr.
+func (s *System) memTile(addr uint64) int {
+	return s.memTiles[s.mem.Channel(addr)]
+}
+
+// findHolders is the broadcast oracle: the actual private holders of a
+// block, as snoop responses would report them.
+func (s *System) findHolders(addr uint64) proto.Entry {
+	var sharers []int
+	for _, c := range s.cores {
+		switch c.holds(addr) {
+		case psE, psM:
+			return proto.Entry{State: proto.Exclusive, Owner: c.id}
+		case psS:
+			sharers = append(sharers, c.id)
+		}
+	}
+	if len(sharers) == 0 {
+		return proto.Entry{State: proto.Unowned}
+	}
+	v := bitvec.New(s.cfg.Cores)
+	for _, c := range sharers {
+		v.Set(c)
+	}
+	return proto.Entry{State: proto.Shared, Sharers: v}
+}
+
+func (s *System) coreFinished() {
+	s.running--
+	if s.running == 0 {
+		// Execution time is set when the last core retires; remaining
+		// events (writebacks in flight) drain afterwards.
+		last := s.cores[0].finishAt
+		for _, c := range s.cores {
+			if c.finishAt > last {
+				last = c.finishAt
+			}
+		}
+		s.metrics.Cycles = uint64(last)
+	}
+}
+
+// Run executes the simulation to completion and returns the metrics.
+// maxEvents bounds runaway simulations (0 = unlimited).
+func (s *System) Run(maxEvents uint64) Metrics {
+	s.running = s.cfg.Cores
+	for _, c := range s.cores {
+		c.step()
+	}
+	s.eng.Run(maxEvents)
+	if s.running > 0 {
+		panic("system: simulation ended with unfinished cores (deadlock?)")
+	}
+	s.collect()
+	return s.metrics
+}
+
+func (s *System) collect() {
+	m := &s.metrics
+	for _, b := range s.banks {
+		b.finalHarvest()
+	}
+	m.Tracker = map[string]uint64{}
+	for _, b := range s.banks {
+		b.tracker.Metrics(m.Tracker)
+	}
+	for cl := mesh.TrafficClass(0); cl < mesh.NumClasses; cl++ {
+		m.TrafficBytes[cl] = s.net.TrafficBytes(cl)
+	}
+	ds := s.mem.Stats()
+	m.DRAMReads, m.DRAMWrites, m.DRAMRowHits = ds.Reads, ds.Writes, ds.RowHits
+}
+
+// Metrics returns the metrics collected by Run.
+func (s *System) Metrics() Metrics { return s.metrics }
+
+// CheckCoherence verifies, at quiescence, that every tracker's view
+// matches the actual private-cache contents: at most one E/M owner per
+// block, exact sharer sets, and no private copy untracked (except schemes
+// that deliberately drop private tracking). Returns a list of violation
+// descriptions (empty = coherent). Used by the invariant tests.
+func (s *System) CheckCoherence(allowUntrackedPrivate bool) []string {
+	var bad []string
+	// Gather actual state per block.
+	type holderInfo struct {
+		owners  []int
+		sharers []int
+	}
+	actual := map[uint64]*holderInfo{}
+	for _, c := range s.cores {
+		c.l2.ForEach(func(l *cacheLine) {
+			hi := actual[l.Addr]
+			if hi == nil {
+				hi = &holderInfo{}
+				actual[l.Addr] = hi
+			}
+			if l.Meta.st == psE || l.Meta.st == psM {
+				hi.owners = append(hi.owners, c.id)
+			} else {
+				hi.sharers = append(hi.sharers, c.id)
+			}
+		})
+	}
+	for addr, hi := range actual {
+		if len(hi.owners) > 1 {
+			bad = append(bad, sprintf("block %#x has %d exclusive owners", addr, len(hi.owners)))
+			continue
+		}
+		if len(hi.owners) == 1 && len(hi.sharers) > 0 {
+			bad = append(bad, sprintf("block %#x has owner %d plus %d sharers", addr, hi.owners[0], len(hi.sharers)))
+			continue
+		}
+		e, ok := s.bankOf(addr).tracker.Lookup(addr)
+		if !ok {
+			if !allowUntrackedPrivate {
+				bad = append(bad, sprintf("block %#x held privately but untracked", addr))
+			}
+			continue
+		}
+		if len(hi.owners) == 1 {
+			if e.State != proto.Exclusive || e.Owner != hi.owners[0] {
+				bad = append(bad, sprintf("block %#x owned by %d but tracked as %v/%d", addr, hi.owners[0], e.State, e.Owner))
+			}
+			continue
+		}
+		if e.State == proto.Exclusive {
+			bad = append(bad, sprintf("block %#x tracked exclusive at %d but held shared", addr, e.Owner))
+			continue
+		}
+		if e.State != proto.Shared {
+			bad = append(bad, sprintf("block %#x held shared but tracked %v", addr, e.State))
+			continue
+		}
+		for _, sh := range hi.sharers {
+			if !e.Sharers.Test(sh) {
+				bad = append(bad, sprintf("block %#x sharer %d missing from tracked set %v", addr, sh, e.Sharers))
+			}
+		}
+	}
+	return bad
+}
+
+// cacheLine aliases the private-cache line type for the checker.
+type cacheLine = cache.Line[privMeta]
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// DumpStall reports, for debugging, every unfinished core's outstanding
+// request and every bank's busy transactions — the first thing to read
+// when a simulation hits its event cap.
+func (s *System) DumpStall() string {
+	var b []byte
+	add := func(f string, args ...interface{}) { b = append(b, sprintf(f, args...)...) }
+	for _, c := range s.cores {
+		if c.finished {
+			continue
+		}
+		add("core %d pos %d/%d retries %d", c.id, c.pos, len(c.refs), c.retries)
+		if o := c.out; o != nil {
+			add(" out{addr %#x %v grant=%v acks %d/%d data=%v mode=%d done=%v}",
+				o.addr, o.kind, o.hasGrant, o.acks, o.wantAcks, o.hasData, o.dataMode, o.done)
+		}
+		if len(c.evictBuf) > 0 {
+			add(" evictBuf %d", len(c.evictBuf))
+		}
+		add("\n")
+	}
+	for _, bk := range s.banks {
+		for addr, t := range bk.busy {
+			add("bank %d busy %#x kind=%v req=%d backInvalAcks=%d\n",
+				bk.id, addr, t.kind, t.requester, t.backInvalAcks)
+		}
+	}
+	return string(b)
+}

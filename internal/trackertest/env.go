@@ -1,0 +1,72 @@
+// Package trackertest provides a fake BankEnv for unit-testing coherence
+// trackers in isolation from the full system.
+package trackertest
+
+import (
+	"tinydir/internal/bitvec"
+	"tinydir/internal/cache"
+	"tinydir/internal/proto"
+	"tinydir/internal/sim"
+)
+
+// Env is a standalone proto.BankEnv with a real LLC tag array.
+type Env struct {
+	Llc    *proto.LLC
+	NCores int
+	Time   sim.Time
+	Busy   map[uint64]bool
+	// Holders backs FindHolders (set by tests for oracle schemes).
+	Holders map[uint64]proto.Entry
+	Shift   uint
+}
+
+// New builds an env with an LLC of the given geometry.
+func New(sets, ways, cores int) *Env {
+	return &Env{
+		Llc:     cache.New[proto.LLCMeta](sets, ways, cache.LRU),
+		NCores:  cores,
+		Busy:    map[uint64]bool{},
+		Holders: map[uint64]proto.Entry{},
+	}
+}
+
+// LLC implements proto.BankEnv.
+func (e *Env) LLC() *proto.LLC { return e.Llc }
+
+// Cores implements proto.BankEnv.
+func (e *Env) Cores() int { return e.NCores }
+
+// Now implements proto.BankEnv.
+func (e *Env) Now() sim.Time { return e.Time }
+
+// BankID implements proto.BankEnv.
+func (e *Env) BankID() int { return 0 }
+
+// BankShift implements proto.BankEnv.
+func (e *Env) BankShift() uint { return e.Shift }
+
+// IsBusy implements proto.BankEnv.
+func (e *Env) IsBusy(addr uint64) bool { return e.Busy[addr] }
+
+// FindHolders implements proto.BankEnv.
+func (e *Env) FindHolders(addr uint64) proto.Entry {
+	if en, ok := e.Holders[addr]; ok {
+		return en
+	}
+	return proto.Entry{State: proto.Unowned}
+}
+
+// Sharers builds a sharer vector for the env's core count.
+func (e *Env) Sharers(cores ...int) bitvec.Vec {
+	v := bitvec.New(e.NCores)
+	for _, c := range cores {
+		v.Set(c)
+	}
+	return v
+}
+
+// Fill inserts addr into the LLC as a plain valid data block.
+func (e *Env) Fill(addr uint64) *proto.LLCLine {
+	l, _, _ := e.Llc.Insert(addr)
+	return l
+}

@@ -1,0 +1,316 @@
+// Package tinydir is the public API of this reproduction of "Tiny
+// Directory: Efficient Shared Memory in Many-core Systems with
+// Ultra-low-overhead Coherence Tracking" (Shukla & Chaudhuri, HPCA 2017).
+//
+// It wraps the simulation substrates under internal/ with a configuration
+// surface mirroring the paper's experiments: pick an application profile
+// (the 17 workloads of Table II), a coherence-tracking scheme (sparse
+// baselines, the in-LLC scheme of §III, the tiny directory of §IV, or the
+// MgD/Stash comparison points), and a scale, then Run.
+//
+//	res := tinydir.Run(tinydir.Options{
+//	    App:    tinydir.App("barnes"),
+//	    Scheme: tinydir.TinyDirectory(1.0/128, true, true),
+//	    Scale:  tinydir.ScaleExperiment,
+//	})
+//	fmt.Println(res.Metrics.Cycles)
+package tinydir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tinydir/internal/core"
+	"tinydir/internal/dir"
+	"tinydir/internal/proto"
+	"tinydir/internal/system"
+	"tinydir/internal/trace"
+)
+
+// Profile re-exports the synthetic application model.
+type Profile = trace.Profile
+
+// Metrics re-exports the simulation metrics.
+type Metrics = system.Metrics
+
+// Apps returns the 17 application profiles of Table II.
+func Apps() []Profile { return trace.Apps() }
+
+// App returns a profile by name, panicking on unknown names (the set is
+// static).
+func App(name string) Profile {
+	p, ok := trace.AppByName(name)
+	if !ok {
+		panic(fmt.Sprintf("tinydir: unknown application %q", name))
+	}
+	return p
+}
+
+// SchemeKind enumerates the coherence-tracking organizations.
+type SchemeKind int
+
+const (
+	// KindSparse is the traditional sparse directory baseline.
+	KindSparse SchemeKind = iota
+	// KindSharedOnly is the Fig. 3 limit study (shared blocks only).
+	KindSharedOnly
+	// KindSharedOnlySkew is its 4-way skew-associative variant.
+	KindSharedOnlySkew
+	// KindInLLC is the §III in-LLC tracking scheme (no directory).
+	KindInLLC
+	// KindInLLCTagExt is the storage-heavy tag-extended variant.
+	KindInLLCTagExt
+	// KindTiny is the §IV tiny directory.
+	KindTiny
+	// KindMgD is the multi-grain directory comparison point.
+	KindMgD
+	// KindStash is the Stash directory comparison point.
+	KindStash
+)
+
+// Scheme selects and parameterizes a coherence-tracking organization.
+type Scheme struct {
+	Kind SchemeKind
+	// Ratio is the directory size as a fraction of the 1x size
+	// (aggregate private L2 blocks); 2.0 is the paper's reference
+	// baseline. Ignored by the in-LLC schemes.
+	Ratio float64
+	// GNRU and Spill select the tiny-directory policy stack.
+	GNRU, Spill bool
+	// SpillWindow overrides the spill observation window (0 = the
+	// paper's 8K accesses; tests use smaller values).
+	SpillWindow uint64
+	// FixedGenLen pins the gNRU generation length (in 4K-cycle units)
+	// instead of the paper's adaptive estimate — the generation-length
+	// ablation knob. 0 = adaptive.
+	FixedGenLen uint64
+	// EntryFormat narrows the sparse directory's sharer encoding:
+	// "" or "fullmap" (the paper's default), "ptrK" (K exact pointers,
+	// coarse overflow), or "coarseG" (one bit per G cores). Only
+	// meaningful for KindSparse — the §I-A composability ablation.
+	EntryFormat string
+}
+
+// SparseDirectory returns a traditional sparse directory scheme.
+func SparseDirectory(ratio float64) Scheme { return Scheme{Kind: KindSparse, Ratio: ratio} }
+
+// SparseDirectoryWithFormat returns a sparse directory whose sharer
+// field uses a narrowed encoding ("ptr4", "coarse8", ...); see
+// Scheme.EntryFormat.
+func SparseDirectoryWithFormat(ratio float64, format string) Scheme {
+	return Scheme{Kind: KindSparse, Ratio: ratio, EntryFormat: format}
+}
+
+// SharedOnlyDirectory returns the Fig. 3 limit-study scheme.
+func SharedOnlyDirectory(ratio float64, skewed bool) Scheme {
+	k := KindSharedOnly
+	if skewed {
+		k = KindSharedOnlySkew
+	}
+	return Scheme{Kind: k, Ratio: ratio}
+}
+
+// InLLC returns the §III scheme; tagExtended selects the storage-heavy
+// variant of Fig. 4.
+func InLLC(tagExtended bool) Scheme {
+	if tagExtended {
+		return Scheme{Kind: KindInLLCTagExt}
+	}
+	return Scheme{Kind: KindInLLC}
+}
+
+// TinyDirectory returns the §IV scheme with the selected policies.
+func TinyDirectory(ratio float64, gnru, spill bool) Scheme {
+	return Scheme{Kind: KindTiny, Ratio: ratio, GNRU: gnru, Spill: spill}
+}
+
+// MgD returns the multi-grain directory comparison scheme.
+func MgD(ratio float64) Scheme { return Scheme{Kind: KindMgD, Ratio: ratio} }
+
+// Stash returns the Stash directory comparison scheme.
+func Stash(ratio float64) Scheme { return Scheme{Kind: KindStash, Ratio: ratio} }
+
+// String names the scheme like the paper's figure legends.
+func (s Scheme) String() string {
+	switch s.Kind {
+	case KindSparse:
+		if s.EntryFormat != "" && s.EntryFormat != "fullmap" {
+			return fmt.Sprintf("sparse-%s-%s", ratioName(s.Ratio), s.EntryFormat)
+		}
+		return fmt.Sprintf("sparse-%s", ratioName(s.Ratio))
+	case KindSharedOnly:
+		return fmt.Sprintf("sharedonly-%s", ratioName(s.Ratio))
+	case KindSharedOnlySkew:
+		return fmt.Sprintf("sharedonly-skew-%s", ratioName(s.Ratio))
+	case KindInLLC:
+		return "inllc"
+	case KindInLLCTagExt:
+		return "inllc-tagext"
+	case KindTiny:
+		n := fmt.Sprintf("tiny-%s-dstra", ratioName(s.Ratio))
+		if s.GNRU {
+			n += "+gnru"
+		}
+		if s.Spill {
+			n += "+dynspill"
+		}
+		return n
+	case KindMgD:
+		return fmt.Sprintf("mgd-%s", ratioName(s.Ratio))
+	case KindStash:
+		return fmt.Sprintf("stash-%s", ratioName(s.Ratio))
+	}
+	return "unknown"
+}
+
+// parseFormat maps an EntryFormat string to the dir-package format.
+func parseFormat(s string) dir.Format {
+	switch {
+	case s == "" || s == "fullmap":
+		return nil
+	case strings.HasPrefix(s, "ptr"):
+		k, err := strconv.Atoi(s[3:])
+		if err != nil || k <= 0 {
+			panic(fmt.Sprintf("tinydir: bad entry format %q", s))
+		}
+		return dir.LimitedPtr{K: k}
+	case strings.HasPrefix(s, "coarse"):
+		g, err := strconv.Atoi(s[6:])
+		if err != nil || g <= 0 {
+			panic(fmt.Sprintf("tinydir: bad entry format %q", s))
+		}
+		return dir.Coarse{G: g}
+	}
+	panic(fmt.Sprintf("tinydir: unknown entry format %q", s))
+}
+
+func ratioName(r float64) string {
+	if r >= 1 {
+		return fmt.Sprintf("%gx", r)
+	}
+	return fmt.Sprintf("1/%.0fx", 1/r)
+}
+
+func (s Scheme) newTracker(cfg system.Config) func(int) proto.Tracker {
+	switch s.Kind {
+	case KindSparse:
+		if f := parseFormat(s.EntryFormat); f != nil {
+			return func(int) proto.Tracker {
+				return dir.NewSparseWithFormat(cfg.DirEntriesPerSlice(s.Ratio), f)
+			}
+		}
+		return func(int) proto.Tracker { return dir.NewSparse(cfg.DirEntriesPerSlice(s.Ratio)) }
+	case KindSharedOnly:
+		return func(int) proto.Tracker { return dir.NewSharedOnly(cfg.DirEntriesPerSlice(s.Ratio), false) }
+	case KindSharedOnlySkew:
+		return func(int) proto.Tracker { return dir.NewSharedOnly(cfg.DirEntriesPerSlice(s.Ratio), true) }
+	case KindInLLC:
+		return func(int) proto.Tracker { return core.NewInLLC(false) }
+	case KindInLLCTagExt:
+		return func(int) proto.Tracker { return core.NewInLLC(true) }
+	case KindTiny:
+		return func(int) proto.Tracker {
+			return core.NewTiny(core.TinyConfig{
+				Entries:        cfg.DirEntriesPerSlice(s.Ratio),
+				GNRU:           s.GNRU,
+				Spill:          s.Spill,
+				WindowAccesses: s.SpillWindow,
+				FixedGenLen:    s.FixedGenLen,
+			})
+		}
+	case KindMgD:
+		return func(int) proto.Tracker { return dir.NewMgD(cfg.DirEntriesPerSlice(s.Ratio)) }
+	case KindStash:
+		return func(int) proto.Tracker { return dir.NewStash(cfg.DirEntriesPerSlice(s.Ratio)) }
+	}
+	panic("tinydir: unknown scheme kind")
+}
+
+// Scale selects the machine size and trace length of a run. The paper's
+// machine is ScaleFull; ScaleExperiment shrinks it 4x in every dimension
+// (preserving all capacity ratios) so the whole figure suite runs in
+// minutes on one CPU; ScaleTest is for unit tests.
+type Scale struct {
+	Name  string
+	Cores int
+	Refs  int
+	// HalveHierarchy halves the cache hierarchy set counts (the §V-A
+	// robustness experiment).
+	HalveHierarchy bool
+}
+
+var (
+	// ScaleTest: 8 cores, small caches.
+	ScaleTest = Scale{Name: "test", Cores: 8, Refs: 1500}
+	// ScaleExperiment: 32 cores, capacity ratios of Table I.
+	ScaleExperiment = Scale{Name: "experiment", Cores: 32, Refs: 4000}
+	// ScaleFull: the paper's 128-core machine.
+	ScaleFull = Scale{Name: "full", Cores: 128, Refs: 8000}
+)
+
+func (sc Scale) machine() system.Config {
+	var cfg system.Config
+	switch {
+	case sc.Cores <= 8:
+		cfg = system.TestConfig(sc.Cores)
+	case sc.Cores >= 128:
+		cfg = system.DefaultConfig(sc.Cores)
+	default:
+		// Scaled-down Table I machine: private and shared capacities
+		// shrink together so every ratio (directory sizes, LLC blocks =
+		// 2x aggregate L2 blocks) is preserved.
+		cfg = system.DefaultConfig(sc.Cores)
+		cfg.L1Sets = 32
+		cfg.L2Sets = 64
+		cfg.LLCSets = 64
+	}
+	if sc.HalveHierarchy {
+		cfg.L1Sets /= 2
+		cfg.L2Sets /= 2
+		cfg.LLCSets /= 2
+	}
+	return cfg
+}
+
+// Options configures one simulation.
+type Options struct {
+	App    Profile
+	Scheme Scheme
+	Scale  Scale
+	// MaxEvents bounds the run (0 = default safety bound).
+	MaxEvents uint64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	App     string
+	Scheme  string
+	Cores   int
+	Metrics Metrics
+}
+
+// Run executes one configuration to completion.
+func Run(o Options) Result {
+	if o.Scale.Cores == 0 {
+		o.Scale = ScaleExperiment
+	}
+	if o.Scheme.Kind == KindTiny && o.Scheme.SpillWindow == 0 && o.Scale.Refs < 50000 {
+		// The paper's 8K-access observation window assumes billions of
+		// instructions; at short trace lengths it would never complete
+		// and the spill threshold would stay pinned at its most
+		// restrictive setting. Scale the window with the trace length
+		// (roughly trace-length/8 windows per bank, as at full scale).
+		o.Scheme.SpillWindow = 512
+	}
+	cfg := o.Scale.machine()
+	cfg.NewTracker = o.Scheme.newTracker(cfg)
+	gen := trace.NewGen(o.App, cfg.Cores)
+	sys := system.New(cfg, gen.Traces(o.Scale.Refs))
+	maxEvents := o.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 4_000_000_000
+	}
+	m := sys.Run(maxEvents)
+	return Result{App: o.App.Name, Scheme: o.Scheme.String(), Cores: cfg.Cores, Metrics: m}
+}

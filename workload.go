@@ -1,0 +1,132 @@
+package tinydir
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tinydir/internal/trace"
+)
+
+// Workload files let users define application profiles beyond the
+// built-in 17 of Table II, as JSON:
+//
+//	{
+//	  "name": "mykernel",
+//	  "seed": 42,
+//	  "privateBlocks": 800, "privateReuse": 0.9, "streamBlocks": 1000,
+//	  "sharedFrac": 0.3, "sharedWriteFrac": 0.05,
+//	  "groups": [{"count": 8, "blocks": 128, "sharers": 16, "weight": 1}],
+//	  "hotFrac": 0.4, "hotBlocks": 32,
+//	  "codeFrac": 0.1, "codeBlocks": 256,
+//	  "writeFrac": 0.25, "gap": 5, "phaseRefs": 1000
+//	}
+//
+// See internal/trace.Profile for the parameter semantics.
+
+// profileJSON mirrors trace.Profile with JSON tags.
+type profileJSON struct {
+	Name            string      `json:"name"`
+	PrivateBlocks   int         `json:"privateBlocks"`
+	PrivateReuse    float64     `json:"privateReuse"`
+	StreamBlocks    int         `json:"streamBlocks"`
+	SharedFrac      float64     `json:"sharedFrac"`
+	SharedWriteFrac float64     `json:"sharedWriteFrac"`
+	Groups          []groupJSON `json:"groups"`
+	HotFrac         float64     `json:"hotFrac"`
+	HotBlocks       int         `json:"hotBlocks"`
+	CodeFrac        float64     `json:"codeFrac"`
+	CodeBlocks      int         `json:"codeBlocks"`
+	WriteFrac       float64     `json:"writeFrac"`
+	Gap             int         `json:"gap"`
+	PhaseRefs       int         `json:"phaseRefs"`
+	Seed            uint64      `json:"seed"`
+}
+
+type groupJSON struct {
+	Count   int     `json:"count"`
+	Blocks  int     `json:"blocks"`
+	Sharers int     `json:"sharers"`
+	Weight  float64 `json:"weight"`
+}
+
+// ReadProfile parses a workload profile from JSON.
+func ReadProfile(r io.Reader) (Profile, error) {
+	var pj profileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pj); err != nil {
+		return Profile{}, fmt.Errorf("tinydir: parsing workload profile: %w", err)
+	}
+	if pj.Name == "" {
+		return Profile{}, fmt.Errorf("tinydir: workload profile needs a name")
+	}
+	if pj.Seed == 0 {
+		return Profile{}, fmt.Errorf("tinydir: workload profile needs a non-zero seed (determinism)")
+	}
+	if pj.PrivateBlocks <= 0 {
+		return Profile{}, fmt.Errorf("tinydir: privateBlocks must be positive")
+	}
+	for i, g := range pj.Groups {
+		if g.Count <= 0 || g.Blocks <= 0 || g.Sharers <= 0 || g.Weight <= 0 {
+			return Profile{}, fmt.Errorf("tinydir: group %d has non-positive parameters", i)
+		}
+	}
+	p := Profile{
+		Name:            pj.Name,
+		PrivateBlocks:   pj.PrivateBlocks,
+		PrivateReuse:    pj.PrivateReuse,
+		StreamBlocks:    pj.StreamBlocks,
+		SharedFrac:      pj.SharedFrac,
+		SharedWriteFrac: pj.SharedWriteFrac,
+		HotFrac:         pj.HotFrac,
+		HotBlocks:       pj.HotBlocks,
+		CodeFrac:        pj.CodeFrac,
+		CodeBlocks:      pj.CodeBlocks,
+		WriteFrac:       pj.WriteFrac,
+		Gap:             pj.Gap,
+		PhaseRefs:       pj.PhaseRefs,
+		Seed:            pj.Seed,
+	}
+	for _, g := range pj.Groups {
+		p.Groups = append(p.Groups, trace.SharedGroup(g))
+	}
+	return p, nil
+}
+
+// LoadProfile reads a workload profile from a JSON file.
+func LoadProfile(path string) (Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}
+
+// WriteProfile serializes a profile as JSON (the inverse of ReadProfile).
+func WriteProfile(w io.Writer, p Profile) error {
+	pj := profileJSON{
+		Name:            p.Name,
+		PrivateBlocks:   p.PrivateBlocks,
+		PrivateReuse:    p.PrivateReuse,
+		StreamBlocks:    p.StreamBlocks,
+		SharedFrac:      p.SharedFrac,
+		SharedWriteFrac: p.SharedWriteFrac,
+		HotFrac:         p.HotFrac,
+		HotBlocks:       p.HotBlocks,
+		CodeFrac:        p.CodeFrac,
+		CodeBlocks:      p.CodeBlocks,
+		WriteFrac:       p.WriteFrac,
+		Gap:             p.Gap,
+		PhaseRefs:       p.PhaseRefs,
+		Seed:            p.Seed,
+	}
+	for _, g := range p.Groups {
+		pj.Groups = append(pj.Groups, groupJSON(g))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}

@@ -1,0 +1,74 @@
+package tinydir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleWorkload = `{
+  "name": "mykernel",
+  "seed": 42,
+  "privateBlocks": 800, "privateReuse": 0.9, "streamBlocks": 1000,
+  "sharedFrac": 0.3, "sharedWriteFrac": 0.05,
+  "groups": [{"count": 8, "blocks": 128, "sharers": 16, "weight": 1}],
+  "hotFrac": 0.4, "hotBlocks": 32,
+  "codeFrac": 0.1, "codeBlocks": 256,
+  "writeFrac": 0.25, "gap": 5, "phaseRefs": 1000
+}`
+
+func TestReadProfile(t *testing.T) {
+	p, err := ReadProfile(strings.NewReader(sampleWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mykernel" || p.PrivateBlocks != 800 || len(p.Groups) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Groups[0].Sharers != 16 || p.Groups[0].Weight != 1 {
+		t.Fatalf("group %+v", p.Groups[0])
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	orig := App("TPC-C")
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.SharedFrac != orig.SharedFrac ||
+		len(back.Groups) != len(orig.Groups) || back.PhaseRefs != orig.PhaseRefs {
+		t.Fatalf("round trip lost data:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestReadProfileRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"no name":       `{"seed": 1, "privateBlocks": 10}`,
+		"zero seed":     `{"name": "x", "privateBlocks": 10}`,
+		"no private":    `{"name": "x", "seed": 1}`,
+		"bad group":     `{"name": "x", "seed": 1, "privateBlocks": 10, "groups": [{"count": 0, "blocks": 8, "sharers": 2, "weight": 1}]}`,
+		"unknown field": `{"name": "x", "seed": 1, "privateBlocks": 10, "bogus": 3}`,
+		"not json":      `hello`,
+	}
+	for label, in := range cases {
+		if _, err := ReadProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestCustomProfileRuns(t *testing.T) {
+	p, err := ReadProfile(strings.NewReader(sampleWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(Options{App: p, Scheme: TinyDirectory(1.0/64, true, true), Scale: ScaleTest})
+	if r.Metrics.Cycles == 0 || r.App != "mykernel" {
+		t.Fatalf("custom profile run failed: %+v", r)
+	}
+}
