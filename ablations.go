@@ -15,7 +15,7 @@ import "fmt"
 // execution time and coherence traffic, normalized to the full-map 1x
 // configuration. Limited pointers and coarse vectors shrink each entry
 // but inflate invalidations.
-func (s *Suite) AblFormat() Figure {
+func (s *Suite) ablFormat() Figure {
 	f := Figure{ID: "AblFormat", Title: "Sharer-encoding formats on a 1x sparse directory", Cols: s.appNames(), Unit: "x vs fullmap"}
 	ref := SparseDirectory(1)
 	formats := []string{"ptr1", "ptr4", "coarse4", "coarse8"}
@@ -44,7 +44,7 @@ func (s *Suite) AblFormat() Figure {
 // AblGenLen compares the adaptive gNRU generation length against fixed
 // lengths (in 4K-cycle units) on the 1/128x tiny directory, reporting
 // tiny-directory hits normalized to the adaptive policy.
-func (s *Suite) AblGenLen() Figure {
+func (s *Suite) ablGenLen() Figure {
 	f := Figure{ID: "AblGenLen", Title: "gNRU generation length, tiny 1/128x", Cols: s.appNames(), Unit: "hits vs adaptive"}
 	adaptive := TinyDirectory(1.0/128, true, false)
 	for _, gl := range []uint64{1, 16, 256, 1024} {
@@ -68,7 +68,7 @@ func (s *Suite) AblGenLen() Figure {
 // tiny directory, reporting execution time normalized to the paper's 8K
 // default. Short windows adapt the spill threshold noisily; long windows
 // adapt late.
-func (s *Suite) AblWindow() Figure {
+func (s *Suite) ablWindow() Figure {
 	f := Figure{ID: "AblWindow", Title: "Spill observation window, tiny 1/256x", Cols: s.appNames(), Unit: "x vs 8K window"}
 	ref := TinyDirectory(1.0/256, true, true)
 	for _, w := range []uint64{256, 1024, 32768} {

@@ -6,12 +6,18 @@
 //	experiments                 # the whole suite (Figs. 1-22 + halved)
 //	experiments -fig 10         # one figure
 //	experiments -scale full     # the 128-core machine (slow)
+//	experiments -j 1            # serial fallback (default: all CPUs)
+//
+// Each simulation is independent, so the suite runs them on a worker
+// pool of -j goroutines. Output is bit-identical at any -j: figures are
+// always assembled serially from deterministic per-run results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +30,7 @@ func main() {
 		scale = flag.String("scale", "experiment", "test | experiment | full")
 		quiet = flag.Bool("q", false, "suppress per-run progress")
 		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jobs  = flag.Int("j", runtime.NumCPU(), "max simulations run concurrently (1 = serial)")
 	)
 	flag.Parse()
 
@@ -40,6 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	suite := tinydir.NewSuite(sc)
+	suite.Workers = *jobs
 	if !*quiet {
 		suite.Progress = os.Stderr
 	}

@@ -4,9 +4,12 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tinydir/internal/energy"
 )
@@ -84,36 +87,234 @@ func trunc(s string, n int) string {
 
 // Suite memoizes simulation runs so figures sharing configurations (e.g.
 // every figure needs the 2x baseline) reuse them.
+//
+// Simulations are mutually independent (each Run owns its engine, trace
+// generator and metric sinks), so a Suite executes the runs a figure
+// needs on a bounded worker pool of Workers goroutines. Every figure is
+// built in two passes: a dry pass that only records which (app, scheme)
+// runs the figure touches, a parallel prefetch of the missing ones, and
+// a real pass served entirely from the cache. The real pass is the same
+// serial code as Workers == 1, so figure output is bit-identical at any
+// worker count.
 type Suite struct {
 	Scale    Scale
 	Progress io.Writer
+	// Workers bounds concurrent simulations during prefetch; <= 1 runs
+	// strictly serially. NewSuite defaults it to runtime.NumCPU().
+	Workers int
 
-	cache map[string]Result
+	sh *suiteShared
+}
+
+// suiteShared is the run cache and prefetch plan, shared with the derived
+// sub-suite FigHalved builds so all runs land in one cache.
+type suiteShared struct {
+	mu       sync.Mutex
+	cache    map[string]Result
+	planning bool
+	planned  map[string]bool
+	plan     []plannedRun
+}
+
+// plannedRun is one simulation a dry figure pass requested.
+type plannedRun struct {
+	key  string
+	opts Options
 }
 
 // NewSuite creates a figure suite at the given scale.
 func NewSuite(scale Scale) *Suite {
-	return &Suite{Scale: scale, cache: map[string]Result{}}
+	return &Suite{
+		Scale:   scale,
+		Workers: runtime.NumCPU(),
+		sh:      &suiteShared{cache: map[string]Result{}},
+	}
 }
 
-func (s *Suite) run(app Profile, scheme Scheme) Result {
+// derived returns a sub-suite at another scale sharing this suite's cache,
+// prefetch plan and worker budget.
+func (s *Suite) derived(scale Scale) *Suite {
+	return &Suite{Scale: scale, Progress: s.Progress, Workers: s.Workers, sh: s.sh}
+}
+
+func (s *Suite) runKey(app Profile, scheme Scheme) string {
 	key := app.Name + "|" + scheme.String() + "|" + s.Scale.Name
 	if s.Scale.HalveHierarchy {
 		key += "|halved"
 	}
-	if r, ok := s.cache[key]; ok {
+	return key
+}
+
+func (s *Suite) run(app Profile, scheme Scheme) Result {
+	key := s.runKey(app, scheme)
+	sh := s.sh
+	sh.mu.Lock()
+	if r, ok := sh.cache[key]; ok {
+		sh.mu.Unlock()
 		return r
 	}
-	if s.Progress != nil {
-		fmt.Fprintf(s.Progress, "  running %-14s %s\n", app.Name, scheme)
+	if sh.planning {
+		// Dry pass: record the run and hand back a zero result; only the
+		// set of runs matters, the figure built from it is discarded.
+		if !sh.planned[key] {
+			sh.planned[key] = true
+			sh.plan = append(sh.plan, plannedRun{key: key, opts: Options{App: app, Scheme: scheme, Scale: s.Scale}})
+		}
+		sh.mu.Unlock()
+		return Result{App: app.Name, Scheme: scheme.String()}
 	}
+	sh.mu.Unlock()
+	s.progressf("  running %-14s %s\n", app.Name, scheme)
 	r := Run(Options{App: app, Scheme: scheme, Scale: s.Scale})
-	s.cache[key] = r
+	sh.mu.Lock()
+	sh.cache[key] = r
+	sh.mu.Unlock()
 	return r
 }
 
+func (s *Suite) progressf(format string, args ...interface{}) {
+	if s.Progress == nil {
+		return
+	}
+	s.sh.mu.Lock()
+	fmt.Fprintf(s.Progress, format, args...)
+	s.sh.mu.Unlock()
+}
+
+// figure builds one figure, prefetching the runs it needs in parallel.
+func (s *Suite) figure(build func() Figure) Figure {
+	sh := s.sh
+	sh.mu.Lock()
+	if s.Workers <= 1 || sh.planning {
+		// Serial mode, or a figure built while another one plans (the
+		// plan then simply covers both).
+		sh.mu.Unlock()
+		return build()
+	}
+	sh.planning = true
+	sh.planned = map[string]bool{}
+	sh.mu.Unlock()
+	build() // dry pass: records every run the figure needs
+	sh.mu.Lock()
+	plan := sh.plan
+	sh.plan, sh.planned, sh.planning = nil, nil, false
+	sh.mu.Unlock()
+	s.prefetch(plan)
+	return build() // real pass: fully cached, identical to the serial path
+}
+
+// prefetch executes the planned runs on a bounded worker pool.
+func (s *Suite) prefetch(plan []plannedRun) {
+	workers := s.Workers
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	if workers < 1 {
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(plan) {
+					return
+				}
+				p := plan[i]
+				s.progressf("  running %-14s %s\n", p.opts.App.Name, p.opts.Scheme)
+				r := Run(p.opts)
+				s.sh.mu.Lock()
+				s.sh.cache[p.key] = r
+				s.sh.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Runs returns the number of distinct simulations executed so far.
-func (s *Suite) Runs() int { return len(s.cache) }
+func (s *Suite) Runs() int {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	return len(s.sh.cache)
+}
+
+// The public figure methods wrap the serial builders below in the
+// plan/prefetch/build cycle of figure(): the simulations each figure
+// needs run concurrently, the figure itself is assembled serially.
+
+// Fig1 reproduces Figure 1 (see fig1).
+func (s *Suite) Fig1() Figure { return s.figure(s.fig1) }
+
+// Fig2 reproduces Figure 2 (see fig2).
+func (s *Suite) Fig2() Figure { return s.figure(s.fig2) }
+
+// Fig3 reproduces Figure 3 (see fig3).
+func (s *Suite) Fig3() Figure { return s.figure(s.fig3) }
+
+// Fig4 reproduces Figure 4 (see fig4).
+func (s *Suite) Fig4() Figure { return s.figure(s.fig4) }
+
+// Fig5 reproduces Figure 5 (see fig5).
+func (s *Suite) Fig5() Figure { return s.figure(s.fig5) }
+
+// Fig6 reproduces Figure 6 (see fig6).
+func (s *Suite) Fig6() Figure { return s.figure(s.fig6) }
+
+// Fig7 reproduces Figure 7 (see fig7).
+func (s *Suite) Fig7() Figure { return s.figure(s.fig7) }
+
+// Fig8 reproduces Figure 8 (see fig8).
+func (s *Suite) Fig8() Figure { return s.figure(s.fig8) }
+
+// Fig9 reproduces Figure 9 (see fig9).
+func (s *Suite) Fig9() Figure { return s.figure(s.fig9) }
+
+// FigTiny reproduces Figures 10-13 (see figTiny).
+func (s *Suite) FigTiny(ratio float64) Figure {
+	return s.figure(func() Figure { return s.figTiny(ratio) })
+}
+
+// FigLengthened reproduces Figures 14/15 (see figLengthened).
+func (s *Suite) FigLengthened(ratio float64) Figure {
+	return s.figure(func() Figure { return s.figLengthened(ratio) })
+}
+
+// Fig16 reproduces Figure 16 (see fig16).
+func (s *Suite) Fig16() Figure { return s.figure(s.fig16) }
+
+// Fig17 reproduces Figure 17 (see fig17).
+func (s *Suite) Fig17() Figure { return s.figure(s.fig17) }
+
+// Fig18 reproduces Figure 18 (see fig18).
+func (s *Suite) Fig18() Figure { return s.figure(s.fig18) }
+
+// Fig19 reproduces Figure 19 (see fig19).
+func (s *Suite) Fig19() Figure { return s.figure(s.fig19) }
+
+// Fig20 reproduces Figure 20 (see fig20).
+func (s *Suite) Fig20() Figure { return s.figure(s.fig20) }
+
+// Fig21 reproduces Figure 21 (see fig21).
+func (s *Suite) Fig21() Figure { return s.figure(s.fig21) }
+
+// Fig22 reproduces Figure 22 (see fig22).
+func (s *Suite) Fig22() Figure { return s.figure(s.fig22) }
+
+// FigHalved reproduces the §V-A robustness experiment (see figHalved).
+func (s *Suite) FigHalved() Figure { return s.figure(s.figHalved) }
+
+// AblFormat runs the sharer-encoding ablation (see ablFormat).
+func (s *Suite) AblFormat() Figure { return s.figure(s.ablFormat) }
+
+// AblGenLen runs the gNRU generation-length ablation (see ablGenLen).
+func (s *Suite) AblGenLen() Figure { return s.figure(s.ablGenLen) }
+
+// AblWindow runs the spill-window ablation (see ablWindow).
+func (s *Suite) AblWindow() Figure { return s.figure(s.ablWindow) }
 
 func (s *Suite) appNames() []string {
 	var names []string
@@ -144,7 +345,7 @@ func (s *Suite) perApp(name string, fn func(app Profile) float64) Series {
 
 // Fig1 reproduces Figure 1: baseline sparse directories of 1/4x, 1/8x,
 // 1/16x, normalized execution time vs 2x.
-func (s *Suite) Fig1() Figure {
+func (s *Suite) fig1() Figure {
 	f := Figure{ID: "Fig1", Title: "Sparse directory sizing", Cols: s.appNames(), Unit: "x vs 2x"}
 	for _, ratio := range []float64{1.0 / 4, 1.0 / 8, 1.0 / 16} {
 		ratio := ratio
@@ -158,7 +359,7 @@ func (s *Suite) Fig1() Figure {
 // Fig2 reproduces Figure 2: distribution of the maximum sharer count per
 // allocated LLC block (percent of allocated blocks per bin), measured on
 // the 2x baseline.
-func (s *Suite) Fig2() Figure {
+func (s *Suite) fig2() Figure {
 	f := Figure{ID: "Fig2", Title: "Max sharer count per allocated LLC block", Cols: s.appNames(), Unit: "%"}
 	bins := []string{"[2,4]", "[5,8]", "[9,16]", "[17,128]"}
 	for i, bin := range bins {
@@ -177,7 +378,7 @@ func (s *Suite) Fig2() Figure {
 // Fig3 reproduces Figure 3: sparse directories tracking only shared
 // blocks (1/16x..1/128x), plus the skew-associative variants the text
 // reports, normalized to 2x.
-func (s *Suite) Fig3() Figure {
+func (s *Suite) fig3() Figure {
 	f := Figure{ID: "Fig3", Title: "Shared-only directory limit study", Cols: s.appNames(), Unit: "x vs 2x"}
 	for _, ratio := range []float64{1.0 / 16, 1.0 / 32, 1.0 / 64, 1.0 / 128} {
 		ratio := ratio
@@ -196,7 +397,7 @@ func (s *Suite) Fig3() Figure {
 
 // Fig4 reproduces Figure 4: in-LLC coherence tracking, tag-extended vs
 // data-bits-borrowed, normalized to 2x.
-func (s *Suite) Fig4() Figure {
+func (s *Suite) fig4() Figure {
 	f := Figure{ID: "Fig4", Title: "In-LLC coherence tracking", Cols: s.appNames(), Unit: "x vs 2x"}
 	f.Series = append(f.Series, s.perApp("tag-extended", func(app Profile) float64 {
 		return s.normCycles(app, InLLC(true))
@@ -209,7 +410,7 @@ func (s *Suite) Fig4() Figure {
 
 // Fig5 reproduces Figure 5: interconnect traffic split into processor,
 // writeback and coherence classes, normalized to the 2x baseline's total.
-func (s *Suite) Fig5() Figure {
+func (s *Suite) fig5() Figure {
 	f := Figure{ID: "Fig5", Title: "Interconnect traffic breakdown", Cols: s.appNames(), Unit: "x of 2x total"}
 	classes := []string{"processor", "writeback", "coherence"}
 	order := []int{0, 1, 2}
@@ -238,7 +439,7 @@ func (s *Suite) Fig5() Figure {
 
 // Fig6 reproduces Figure 6: percentage of LLC accesses whose critical
 // path lengthens under in-LLC tracking, split into code and data.
-func (s *Suite) Fig6() Figure {
+func (s *Suite) fig6() Figure {
 	f := Figure{ID: "Fig6", Title: "LLC accesses with lengthened critical path (in-LLC)", Cols: s.appNames(), Unit: "%"}
 	f.Series = append(f.Series, s.perApp("data", func(app Profile) float64 {
 		m := s.run(app, InLLC(false)).Metrics
@@ -259,7 +460,7 @@ func (s *Suite) Fig6() Figure {
 
 // Fig7 reproduces Figure 7: percentage of allocated LLC blocks that
 // source lengthened accesses under in-LLC tracking.
-func (s *Suite) Fig7() Figure {
+func (s *Suite) fig7() Figure {
 	f := Figure{ID: "Fig7", Title: "Allocated LLC blocks with lengthened accesses (in-LLC)", Cols: s.appNames(), Unit: "%"}
 	f.Series = append(f.Series, s.perApp("blocks", func(app Profile) float64 {
 		return 100 * s.run(app, InLLC(false)).Metrics.LengthenedBlockFrac()
@@ -269,13 +470,13 @@ func (s *Suite) Fig7() Figure {
 
 // Fig8 reproduces Figure 8: distribution of allocated LLC blocks with
 // non-zero STRA ratio over categories C1..C7.
-func (s *Suite) Fig8() Figure {
+func (s *Suite) fig8() Figure {
 	return s.straDistribution("Fig8", "Block distribution over STRA categories", "stra.blockCat")
 }
 
 // Fig9 reproduces Figure 9: distribution of lengthened LLC accesses over
 // the accessed block's STRA category.
-func (s *Suite) Fig9() Figure {
+func (s *Suite) fig9() Figure {
 	return s.straDistribution("Fig9", "Lengthened-access distribution over STRA categories", "stra.accessCat")
 }
 
@@ -308,7 +509,7 @@ var TinySizes = []float64{1.0 / 32, 1.0 / 64, 1.0 / 128, 1.0 / 256}
 // FigTiny reproduces Figures 10-13: tiny directory at the given size with
 // the DSTRA, DSTRA+gNRU, and DSTRA+gNRU+DynSpill policies, normalized to
 // the 2x sparse baseline.
-func (s *Suite) FigTiny(ratio float64) Figure {
+func (s *Suite) figTiny(ratio float64) Figure {
 	id := map[float64]string{1.0 / 32: "Fig10", 1.0 / 64: "Fig11", 1.0 / 128: "Fig12", 1.0 / 256: "Fig13"}[ratio]
 	if id == "" {
 		id = "FigTiny-" + ratioName(ratio)
@@ -338,7 +539,7 @@ func tinyPolicies(ratio float64) []tinyPolicy {
 
 // FigLengthened reproduces Figures 14/15: percentage of LLC accesses with
 // lengthened critical paths under the tiny directory of the given size.
-func (s *Suite) FigLengthened(ratio float64) Figure {
+func (s *Suite) figLengthened(ratio float64) Figure {
 	id := map[float64]string{1.0 / 32: "Fig14", 1.0 / 256: "Fig15"}[ratio]
 	if id == "" {
 		id = "FigLen-" + ratioName(ratio)
@@ -355,13 +556,13 @@ func (s *Suite) FigLengthened(ratio float64) Figure {
 
 // Fig16 reproduces Figure 16: tiny-directory hits under DSTRA+gNRU
 // normalized to DSTRA, for the four sizes.
-func (s *Suite) Fig16() Figure {
+func (s *Suite) fig16() Figure {
 	return s.gnruRatio("Fig16", "Tiny-directory hits, gNRU vs DSTRA", "tiny.hits")
 }
 
 // Fig17 reproduces Figure 17: tiny-directory allocations under
 // DSTRA+gNRU normalized to DSTRA.
-func (s *Suite) Fig17() Figure {
+func (s *Suite) fig17() Figure {
 	return s.gnruRatio("Fig17", "Tiny-directory allocations, gNRU vs DSTRA", "tiny.allocs")
 }
 
@@ -385,7 +586,7 @@ func (s *Suite) gnruRatio(id, title, key string) Figure {
 }
 
 // Fig18 reproduces Figure 18: hits per allocation with DSTRA+gNRU.
-func (s *Suite) Fig18() Figure {
+func (s *Suite) fig18() Figure {
 	f := Figure{ID: "Fig18", Title: "Tiny-directory hits per allocation (gNRU)", Cols: s.appNames(), Unit: "hits/alloc"}
 	for _, ratio := range TinySizes {
 		ratio := ratio
@@ -403,7 +604,7 @@ func (s *Suite) Fig18() Figure {
 
 // Fig19 reproduces Figure 19: percentage of LLC accesses whose critical
 // path is saved by spilled entries (DSTRA+gNRU+DynSpill).
-func (s *Suite) Fig19() Figure {
+func (s *Suite) fig19() Figure {
 	f := Figure{ID: "Fig19", Title: "LLC accesses saved by spilled entries", Cols: s.appNames(), Unit: "%"}
 	for _, ratio := range TinySizes {
 		ratio := ratio
@@ -416,7 +617,7 @@ func (s *Suite) Fig19() Figure {
 
 // Fig20 reproduces Figure 20: LLC miss-rate increase due to spilling
 // (percentage points vs the 2x baseline).
-func (s *Suite) Fig20() Figure {
+func (s *Suite) fig20() Figure {
 	f := Figure{ID: "Fig20", Title: "LLC miss-rate increase from spilling", Cols: s.appNames(), Unit: "pp"}
 	for _, ratio := range TinySizes {
 		ratio := ratio
@@ -433,7 +634,7 @@ func (s *Suite) Fig20() Figure {
 // total) and execution cycles for baseline sparse directories from 2x
 // down to 1/16x plus the tiny 1/128x, all normalized to the tiny 1/256x
 // configuration with DSTRA+gNRU+DynSpill, averaged over the applications.
-func (s *Suite) Fig21() Figure {
+func (s *Suite) fig21() Figure {
 	type point struct {
 		name   string
 		scheme Scheme
@@ -528,7 +729,7 @@ func maxInt(a, b int) int {
 
 // Fig22 reproduces Figure 22: MgD at 1/8x..1/64x and Stash at 1/32x,
 // normalized to the 2x sparse baseline.
-func (s *Suite) Fig22() Figure {
+func (s *Suite) fig22() Figure {
 	f := Figure{ID: "Fig22", Title: "MgD and Stash comparison", Cols: s.appNames(), Unit: "x vs 2x"}
 	for _, ratio := range []float64{1.0 / 8, 1.0 / 16, 1.0 / 32, 1.0 / 64} {
 		ratio := ratio
@@ -544,14 +745,13 @@ func (s *Suite) Fig22() Figure {
 
 // FigHalved reproduces the §V-A robustness experiment: the whole cache
 // hierarchy halved, tiny 1/128x policies vs the 2x baseline.
-func (s *Suite) FigHalved() Figure {
-	half := NewSuite(Scale{
+func (s *Suite) figHalved() Figure {
+	half := s.derived(Scale{
 		Name:           s.Scale.Name + "-halved",
 		Cores:          s.Scale.Cores,
 		Refs:           s.Scale.Refs,
 		HalveHierarchy: true,
 	})
-	half.Progress = s.Progress
 	f := Figure{ID: "Halved", Title: "Halved hierarchy, tiny 1/128x", Cols: s.appNames(), Unit: "x vs 2x"}
 	f.Series = append(f.Series, half.perApp("DSTRA+gNRU", func(app Profile) float64 {
 		return half.normCycles(app, TinyDirectory(1.0/128, true, false))

@@ -1,0 +1,53 @@
+package tinydir
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure fixture")
+
+// goldenScale is a reduced machine whose runs take milliseconds; the
+// fixture pins exact figure rows, so any unintended change to the
+// protocol, the trace generator or the figure math shows up as a diff.
+var goldenScale = Scale{Name: "golden", Cores: 8, Refs: 800}
+
+// TestGoldenFigureRows regenerates a handful of figure rows at reduced
+// scale and compares them byte-for-byte against the checked-in fixture.
+// The simulator is deterministic, so this either matches exactly or
+// something real changed. Refresh intentionally with:
+//
+//	go test -run TestGoldenFigureRows -update .
+func TestGoldenFigureRows(t *testing.T) {
+	s := NewSuite(goldenScale)
+	var buf bytes.Buffer
+	for _, f := range []Figure{s.Fig4(), s.Fig6(), s.FigTiny(1.0 / 64)} {
+		if err := f.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "figures_golden.csv")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("figure rows drifted from %s — if intentional, regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

@@ -116,6 +116,9 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
 			m.LengthenedData++
 		}
 		dl.Meta.Lengthened = true
+		if b.sys.obs != nil {
+			b.sys.obs.Lengthened(addr, dl.Meta.Corrupted)
+		}
 	}
 	if kind.IsRead() && view.E.State == proto.Shared && view.SpillHit {
 		m.SpillAvoided++

@@ -35,6 +35,10 @@ type Config struct {
 
 	// NewTracker builds the coherence-tracking slice for one bank.
 	NewTracker func(bank int) proto.Tracker
+
+	// Observer, when non-nil, receives per-event protocol callbacks (the
+	// invariant-test cross-check hook).
+	Observer Observer
 }
 
 // DefaultConfig returns the Table I machine scaled to the given core

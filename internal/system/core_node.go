@@ -120,6 +120,9 @@ func (c *coreNode) step() {
 					}
 				}
 				elapsed += c.sys.cfg.L1Lat
+				if c.sys.obs != nil {
+					c.sys.obs.Retire(c.id, ref.Addr, ref.Kind, false, false)
+				}
 				c.pos++
 				c.sys.metrics.L1Hits++
 				continue
@@ -135,6 +138,9 @@ func (c *coreNode) step() {
 			nl, _, _ := l1.Insert(ref.Addr)
 			nl.Meta.st = l2l.Meta.st
 			elapsed += c.sys.cfg.L1Lat + c.sys.cfg.L2Lat
+			if c.sys.obs != nil {
+				c.sys.obs.Retire(c.id, ref.Addr, ref.Kind, false, false)
+			}
 			c.pos++
 			c.sys.metrics.L2Hits++
 			continue
@@ -166,6 +172,21 @@ func (c *coreNode) step() {
 }
 
 func (c *coreNode) sendReq(addr uint64) {
+	if _, pending := c.evictBuf[addr]; pending {
+		// Our own eviction notice for this block is still un-acked. A new
+		// request now could re-acquire the block before the notice reaches
+		// the home bank, which would then mistake the stale notice for the
+		// fresh copy and untrack a live line (letting a later requester
+		// take it exclusively alongside ours). Hold the request until the
+		// acknowledgement drains the eviction buffer.
+		c.sys.metrics.Retries++
+		c.sys.eng.After(c.sys.cfg.NackRetry, func() {
+			if c.out != nil && c.out.addr == addr && !c.out.done {
+				c.sendReq(addr)
+			}
+		})
+		return
+	}
 	b := c.sys.bankOf(addr)
 	kind := c.out.kind
 	c.sys.net.Send(c.id, b.id, mesh.CtrlBytes, mesh.Processor, func() {
@@ -248,6 +269,10 @@ func (c *coreNode) maybeComplete() {
 	}
 	o.done = true
 	c.fill(o.addr, o.grantState, o.ifetch)
+	if c.sys.obs != nil {
+		c.sys.obs.Retire(c.id, o.addr, c.refs[c.pos].Kind, true,
+			o.grantState == psE || o.grantState == psM)
+	}
 	if o.notifyHome {
 		b := c.sys.bankOf(o.addr)
 		c.sys.net.Send(c.id, b.id, mesh.CtrlBytes, mesh.Coherence, func() {
@@ -279,6 +304,9 @@ func (c *coreNode) fill(addr uint64, st privState, ifetch bool) {
 		// notify the home bank.
 		c.l1d.Invalidate(ev.Addr)
 		c.l1i.Invalidate(ev.Addr)
+		if c.sys.obs != nil {
+			c.sys.obs.Invalidate(c.id, ev.Addr)
+		}
 		c.sendEvict(ev.Addr, ev.Meta.st)
 	}
 	if l2l == nil {
@@ -347,6 +375,9 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
 			c.l2.Invalidate(addr)
 			c.l1d.Invalidate(addr)
 			c.l1i.Invalidate(addr)
+			if c.sys.obs != nil {
+				c.sys.obs.Invalidate(c.id, addr)
+			}
 			retained = false
 		} else {
 			l.Meta.st = psS
@@ -421,6 +452,9 @@ func (c *coreNode) onInv(addr uint64, ackTo, ackBank int, withData bool) {
 	}
 	c.l1d.Invalidate(addr)
 	c.l1i.Invalidate(addr)
+	if c.sys.obs != nil {
+		c.sys.obs.Invalidate(c.id, addr)
+	}
 	if st, ok := c.evictBuf[addr]; ok {
 		wasM = wasM || st == psM
 		delete(c.evictBuf, addr) // the pending notice becomes stale

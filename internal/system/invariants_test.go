@@ -1,0 +1,236 @@
+package system
+
+// The protocol invariant checker promised by DESIGN.md §7: random stress
+// traces are replayed against a golden per-block reference state machine
+// that follows every retirement and invalidation in event order. The
+// golden machine is value-based — each block carries a version tag that
+// every store bumps — so it catches lost invalidations and lost writes
+// that aggregate metrics and end-state checks would hide:
+//
+//   - at most one exclusive (E/M) writer: a store retiring while any
+//     other core's copy is live is a violation, as is an E/M grant;
+//   - exact sharer sets at quiescence (full-map schemes track no
+//     phantom sharers, and no actual holder goes untracked);
+//   - no lost writes: a private-cache hit must observe the current
+//     version tag — a stale hit means an invalidation never arrived;
+//   - every lengthened access really was corrupted-shared: the LLC line
+//     charged with a three-hop critical path must actually hold its
+//     coherence state in borrowed data bits.
+
+import (
+	"fmt"
+	"testing"
+
+	"tinydir/internal/core"
+	"tinydir/internal/dir"
+	"tinydir/internal/proto"
+	"tinydir/internal/trace"
+)
+
+// goldenBlock is the reference state of one block: a version tag bumped
+// by every store, and the version each core's live copy reflects.
+type goldenBlock struct {
+	version uint64
+	seen    map[int]uint64
+}
+
+// goldenChecker implements Observer by simulating every block's legal
+// state alongside the real protocol.
+type goldenChecker struct {
+	blocks     map[uint64]*goldenBlock
+	violations []string
+
+	retires    uint64
+	lengthened uint64
+}
+
+func newGoldenChecker() *goldenChecker {
+	return &goldenChecker{blocks: map[uint64]*goldenBlock{}}
+}
+
+func (g *goldenChecker) block(addr uint64) *goldenBlock {
+	b := g.blocks[addr]
+	if b == nil {
+		b = &goldenBlock{seen: map[int]uint64{}}
+		g.blocks[addr] = b
+	}
+	return b
+}
+
+func (g *goldenChecker) failf(format string, args ...interface{}) {
+	if len(g.violations) < 20 {
+		g.violations = append(g.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (g *goldenChecker) Retire(core int, addr uint64, kind trace.Kind, fill, excl bool) {
+	g.retires++
+	b := g.block(addr)
+	switch {
+	case kind == trace.Store:
+		// The writer must be alone: every other live copy should have
+		// been invalidated before the store completed.
+		for c := range b.seen {
+			if c != core {
+				g.failf("store by core %d to %#x completed with a live copy at core %d", core, addr, c)
+			}
+		}
+		b.version++
+		b.seen = map[int]uint64{core: b.version}
+	case fill:
+		if excl {
+			for c := range b.seen {
+				if c != core {
+					g.failf("exclusive grant of %#x to core %d with a live copy at core %d", addr, core, c)
+				}
+			}
+		}
+		b.seen[core] = b.version
+	default:
+		// Load/ifetch hit: the copy must exist and be current.
+		v, ok := b.seen[core]
+		switch {
+		case !ok:
+			g.failf("core %d hit on %#x without a live copy", core, addr)
+		case v != b.version:
+			g.failf("lost write: core %d read version %d of %#x, current is %d", core, v, addr, b.version)
+		}
+	}
+}
+
+func (g *goldenChecker) Invalidate(core int, addr uint64) {
+	delete(g.block(addr).seen, core)
+}
+
+func (g *goldenChecker) Lengthened(addr uint64, corrupted bool) {
+	g.lengthened++
+	if !corrupted {
+		g.failf("lengthened access charged to %#x but the LLC line is not corrupted-shared", addr)
+	}
+}
+
+// invariantSchemes builds every tracker organization under test, sized
+// small so directory pressure, spills and back-invalidations all occur.
+func invariantSchemes() []struct {
+	name    string
+	fullMap bool // lossless sharer encoding: exact-sharer check applies
+	mk      func(cfg Config) func(int) proto.Tracker
+} {
+	return []struct {
+		name    string
+		fullMap bool
+		mk      func(cfg Config) func(int) proto.Tracker
+	}{
+		{"sparse", true, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return dir.NewSparse(8) }
+		}},
+		{"sparse-ptr2", false, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return dir.NewSparseWithFormat(8, dir.LimitedPtr{K: 2}) }
+		}},
+		{"sharedonly", true, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return dir.NewSharedOnly(8, false) }
+		}},
+		{"sharedonly-skew", true, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return dir.NewSharedOnly(8, true) }
+		}},
+		{"mgd", false, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return dir.NewMgD(8) }
+		}},
+		{"stash", false, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return dir.NewStash(8) }
+		}},
+		{"inllc", true, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return core.NewInLLC(false) }
+		}},
+		{"inllc-tagext", true, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker { return core.NewInLLC(true) }
+		}},
+		{"tiny-full", true, func(cfg Config) func(int) proto.Tracker {
+			return func(int) proto.Tracker {
+				return core.NewTiny(core.TinyConfig{Entries: 4, GNRU: true, Spill: true, WindowAccesses: 128})
+			}
+		}},
+	}
+}
+
+// TestProtocolInvariants replays contended random traces for every
+// tracker scheme at 16 and 32 cores under the golden reference machine,
+// then cross-checks the end state.
+func TestProtocolInvariants(t *testing.T) {
+	coreCounts := []int{16, 32}
+	seeds := []int64{11, 23}
+	if testing.Short() {
+		coreCounts = []int{16}
+		seeds = seeds[:1]
+	}
+	for _, sch := range invariantSchemes() {
+		for _, cores := range coreCounts {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("%s/%dcores/seed%d", sch.name, cores, seed)
+				t.Run(name, func(t *testing.T) {
+					cfg := TestConfig(cores)
+					cfg.L1Sets, cfg.L1Ways = 4, 2
+					cfg.L2Sets, cfg.L2Ways = 8, 2
+					cfg.NewTracker = sch.mk(cfg)
+					g := newGoldenChecker()
+					cfg.Observer = g
+					refs := 900
+					blocks := 12 * cores // enough contention per bank
+					sys := New(cfg, randomTraces(seed, cores, refs, blocks, 0.3))
+					m := sys.Run(1_000_000_000)
+					if m.Cycles == 0 {
+						t.Fatal("no progress")
+					}
+					if g.retires != uint64(cores*refs) {
+						t.Fatalf("golden machine saw %d retirements, want %d", g.retires, cores*refs)
+					}
+					if len(g.violations) > 0 {
+						t.Fatalf("%d golden-machine violations, first: %s",
+							len(g.violations), g.violations[0])
+					}
+					if bad := sys.CheckCoherence(false); len(bad) > 0 {
+						t.Fatalf("%d end-state violations, first: %s", len(bad), bad[0])
+					}
+					if sch.fullMap {
+						if bad := sys.CheckExactSharers(); len(bad) > 0 {
+							t.Fatalf("%d phantom sharers, first: %s", len(bad), bad[0])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLengthenedAccountingIsCorruptedOnly drives the in-LLC and tiny
+// schemes with sharing-heavy synthetic apps and asserts that (a) some
+// lengthened accesses occur, so the invariant is exercised, and (b)
+// every one of them was charged to a genuinely corrupted-shared line.
+func TestLengthenedAccountingIsCorruptedOnly(t *testing.T) {
+	mks := map[string]func(int) proto.Tracker{
+		"inllc": func(int) proto.Tracker { return core.NewInLLC(false) },
+		"tiny": func(int) proto.Tracker {
+			return core.NewTiny(core.TinyConfig{Entries: 4, GNRU: true, Spill: true, WindowAccesses: 128})
+		},
+	}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			cfg := TestConfig(16)
+			cfg.NewTracker = mk
+			g := newGoldenChecker()
+			cfg.Observer = g
+			sys := New(cfg, testTraces(16, 2500, "barnes"))
+			m := sys.Run(1_000_000_000)
+			if m.LengthenedCode+m.LengthenedData == 0 {
+				t.Fatal("no lengthened accesses: invariant not exercised")
+			}
+			if g.lengthened != m.LengthenedCode+m.LengthenedData {
+				t.Fatalf("observer saw %d lengthened accesses, metrics say %d",
+					g.lengthened, m.LengthenedCode+m.LengthenedData)
+			}
+			if len(g.violations) > 0 {
+				t.Fatalf("violation: %s", g.violations[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package system
+
+import "tinydir/internal/trace"
+
+// Observer receives fine-grained protocol events from a running system.
+// It is the cross-checking hook behind the invariant tests (DESIGN.md
+// §7): a golden per-block reference state machine follows retirements
+// and invalidations in event order and flags coherence violations the
+// aggregate metrics would hide. A nil observer costs one predictable
+// branch per event.
+//
+// All callbacks run on the simulation goroutine, in deterministic event
+// order.
+type Observer interface {
+	// Retire is called when a core retires one trace reference. fill
+	// reports that the reference missed privately and was served by a
+	// protocol transaction; excl reports that the fill was granted in an
+	// exclusive (E/M) state. Hits have fill == false.
+	Retire(core int, addr uint64, kind trace.Kind, fill, excl bool)
+	// Invalidate is called when a core's private copy of addr is dropped
+	// for protocol reasons: an L2 capacity eviction, an invalidation, or
+	// an ownership-transferring forward.
+	Invalidate(core int, addr uint64)
+	// Lengthened is called when the home bank accounts an LLC access as
+	// critical-path lengthened; corrupted reports whether the LLC data
+	// line really was in the corrupted (state-in-data-bits) encoding
+	// that justifies the three-hop supply.
+	Lengthened(addr uint64, corrupted bool)
+}

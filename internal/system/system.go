@@ -24,6 +24,8 @@ type System struct {
 	memTiles []int
 	maxDist  int
 
+	obs Observer
+
 	running  int
 	metrics  Metrics
 }
@@ -36,7 +38,7 @@ func New(cfg Config, traces [][]trace.Ref) *System {
 	if len(traces) != cfg.Cores {
 		panic("system: trace count != cores")
 	}
-	s := &System{cfg: cfg, eng: &sim.Engine{}}
+	s := &System{cfg: cfg, eng: &sim.Engine{}, obs: cfg.Observer}
 	w, h := meshDims(cfg.Cores)
 	s.net = mesh.New(s.eng, mesh.Config{Width: w, Height: h, ModelContention: cfg.ModelContention})
 	s.maxDist = w + h
@@ -198,6 +200,37 @@ func (s *System) CheckCoherence(allowUntrackedPrivate bool) []string {
 		for _, sh := range hi.sharers {
 			if !e.Sharers.Test(sh) {
 				bad = append(bad, sprintf("block %#x sharer %d missing from tracked set %v", addr, sh, e.Sharers))
+			}
+		}
+	}
+	return bad
+}
+
+// CheckExactSharers verifies, at quiescence, that tracked sharer sets
+// contain no phantom members: for every block still privately held, the
+// tracked Shared set must equal the actual holder set exactly. Only
+// meaningful for lossless (full-map) trackers — limited-pointer and
+// coarse-vector formats inflate sharer sets by design, and region-grain
+// or broadcast schemes reconstruct them lazily.
+func (s *System) CheckExactSharers() []string {
+	var bad []string
+	actual := map[uint64]map[int]bool{}
+	for _, c := range s.cores {
+		c.l2.ForEach(func(l *cacheLine) {
+			if actual[l.Addr] == nil {
+				actual[l.Addr] = map[int]bool{}
+			}
+			actual[l.Addr][c.id] = true
+		})
+	}
+	for addr, holders := range actual {
+		e, ok := s.bankOf(addr).tracker.Lookup(addr)
+		if !ok || e.State != proto.Shared {
+			continue // ownership exactness is CheckCoherence's job
+		}
+		for sh := e.Sharers.First(); sh >= 0; sh = e.Sharers.Next(sh) {
+			if !holders[sh] {
+				bad = append(bad, sprintf("block %#x tracks phantom sharer %d (actual %v)", addr, sh, holders))
 			}
 		}
 	}

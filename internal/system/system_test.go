@@ -188,7 +188,7 @@ func TestSpillingHelps(t *testing.T) {
 	run := func(spill bool) Metrics {
 		cfg := TestConfig(8)
 		cfg.NewTracker = func(int) proto.Tracker {
-			return core.NewTiny(core.TinyConfig{Entries: 2, GNRU: true, Spill: spill, WindowAccesses: 256})
+			return core.NewTiny(core.TinyConfig{Entries: 2, GNRU: true, Spill: spill, WindowAccesses: 128})
 		}
 		sys := New(cfg, testTraces(8, 4000, "barnes"))
 		return sys.Run(400_000_000)

@@ -1,0 +1,92 @@
+package trackertest
+
+import (
+	"testing"
+
+	"tinydir/internal/proto"
+)
+
+var _ proto.BankEnv = (*Env)(nil)
+
+func TestEnvBankEnvSurface(t *testing.T) {
+	e := New(4, 2, 8)
+	if e.LLC() != e.Llc {
+		t.Fatal("LLC() does not expose the tag array")
+	}
+	if e.Cores() != 8 {
+		t.Fatalf("Cores() = %d, want 8", e.Cores())
+	}
+	if e.BankID() != 0 {
+		t.Fatalf("BankID() = %d, want 0", e.BankID())
+	}
+	if e.Now() != 0 {
+		t.Fatalf("fresh env Now() = %d, want 0", e.Now())
+	}
+	e.Time = 42
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %d after setting Time, want 42", e.Now())
+	}
+	e.Shift = 3
+	if e.BankShift() != 3 {
+		t.Fatalf("BankShift() = %d, want 3", e.BankShift())
+	}
+}
+
+func TestEnvBusy(t *testing.T) {
+	e := New(4, 2, 8)
+	if e.IsBusy(0x40) {
+		t.Fatal("fresh env reports busy")
+	}
+	e.Busy[0x40] = true
+	if !e.IsBusy(0x40) {
+		t.Fatal("IsBusy missed the marked address")
+	}
+	if e.IsBusy(0x80) {
+		t.Fatal("busy state leaked to another address")
+	}
+}
+
+func TestEnvFindHolders(t *testing.T) {
+	e := New(4, 2, 8)
+	if en := e.FindHolders(0x40); en.State != proto.Unowned {
+		t.Fatalf("unset address reports %v, want Unowned", en.State)
+	}
+	e.Holders[0x40] = proto.Entry{State: proto.Exclusive, Owner: 5}
+	if en := e.FindHolders(0x40); en.State != proto.Exclusive || en.Owner != 5 {
+		t.Fatalf("FindHolders = %+v, want Exclusive/5", en)
+	}
+}
+
+func TestEnvSharers(t *testing.T) {
+	e := New(4, 2, 8)
+	v := e.Sharers(1, 3, 7)
+	for c := 0; c < 8; c++ {
+		want := c == 1 || c == 3 || c == 7
+		if v.Test(c) != want {
+			t.Fatalf("Sharers vector bit %d = %v, want %v", c, v.Test(c), want)
+		}
+	}
+	if !e.Sharers().Empty() {
+		t.Fatal("Sharers() with no cores is not empty")
+	}
+}
+
+func TestEnvFill(t *testing.T) {
+	e := New(4, 2, 8)
+	l := e.Fill(0x40)
+	if l == nil {
+		t.Fatal("Fill returned nil")
+	}
+	if got := e.Llc.Lookup(0x40); got != l {
+		t.Fatal("filled line is not resident in the LLC")
+	}
+	// Filling past the set's associativity evicts: the env behaves like
+	// a real (tiny) LLC, which is what tracker tests rely on. Addresses
+	// are block addresses, so set peers differ by the set count.
+	sets := uint64(4)
+	e.Fill(0x40 + sets)
+	e.Fill(0x40 + 2*sets)
+	if e.Llc.Lookup(0x40) != nil {
+		t.Fatal("LRU eviction did not occur in a 2-way set")
+	}
+}

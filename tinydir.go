@@ -18,8 +18,11 @@ package tinydir
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tinydir/internal/core"
 	"tinydir/internal/dir"
@@ -313,4 +316,43 @@ func Run(o Options) Result {
 	}
 	m := sys.Run(maxEvents)
 	return Result{App: o.App.Name, Scheme: o.Scheme.String(), Cores: cfg.Cores, Metrics: m}
+}
+
+// RunAll executes the given configurations on a bounded worker pool and
+// returns the results in input order. Every simulation is fully isolated
+// (its own event engine, trace generator and metric sinks), so runs are
+// independent and the result for opts[i] is bit-identical whatever the
+// worker count. workers <= 0 selects runtime.NumCPU(); workers == 1 runs
+// strictly serially on the calling goroutine.
+func RunAll(opts []Options, workers int) []Result {
+	results := make([]Result, len(opts))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(opts) {
+		workers = len(opts)
+	}
+	if workers <= 1 {
+		for i, o := range opts {
+			results[i] = Run(o)
+		}
+		return results
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(opts) {
+					return
+				}
+				results[i] = Run(opts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }
