@@ -1,0 +1,180 @@
+package tinydir
+
+// The hot-path benchmark family tracks the cost of one simulated trace
+// reference through the whole stack (event queue, mesh, banks, DRAM) —
+// the unit every figure's wall-clock is made of. Unlike the per-figure
+// benchmarks in bench_test.go, these build a fresh Suite per iteration
+// so nothing is served from the memoization cache: every number is a
+// real simulation.
+//
+// Two consumers:
+//
+//   - `go test -bench BenchmarkHotPath -benchmem .` for interactive
+//     before/after comparisons (ns/ref and allocs/ref are reported as
+//     custom metrics);
+//   - `go test -run TestHotPathJSON -hotpath.json BENCH_hotpath.json .`
+//     regenerates the checked-in BENCH_hotpath.json, which records the
+//     pre-overhaul baseline alongside fresh numbers so the repository
+//     keeps a perf trajectory. allocs/ref is hardware-independent (the
+//     simulator is deterministic); ns/ref is indicative only.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var hotpathJSONPath = flag.String("hotpath.json", "", "write hot-path measurements to this file (see BENCH_hotpath.json)")
+
+// hotScale128 is the paper's 128-core machine with trace slices short
+// enough that a full Fig. 1 sweep (68 simulations) stays in benchmark
+// territory.
+var hotScale128 = Scale{Name: "hot128", Cores: 128, Refs: 400}
+
+// hotpathCase is one measured workload; run executes it and returns the
+// number of simulated trace references it retired.
+type hotpathCase struct {
+	name string
+	run  func() uint64
+}
+
+func hotpathCases() []hotpathCase {
+	return []hotpathCase{
+		{"SingleRun32", func() uint64 {
+			o := Options{App: App("barnes"), Scheme: SparseDirectory(2), Scale: ScaleExperiment}
+			r := Run(o)
+			if r.Metrics.Cycles == 0 {
+				panic("hotpath: empty run")
+			}
+			return uint64(ScaleExperiment.Cores) * uint64(ScaleExperiment.Refs)
+		}},
+		{"SingleRun128", func() uint64 {
+			o := Options{App: App("bodytrack"), Scheme: TinyDirectory(1.0/128, true, true), Scale: hotScale128}
+			r := Run(o)
+			if r.Metrics.Cycles == 0 {
+				panic("hotpath: empty run")
+			}
+			return uint64(hotScale128.Cores) * uint64(hotScale128.Refs)
+		}},
+		{"Fig01At128", func() uint64 {
+			s := NewSuite(hotScale128)
+			f := s.Fig1()
+			if len(f.Series) == 0 {
+				panic("hotpath: Fig1 produced no data")
+			}
+			return uint64(s.Runs()) * uint64(hotScale128.Cores) * uint64(hotScale128.Refs)
+		}},
+	}
+}
+
+// BenchmarkHotPath reports ns and heap allocations per simulated trace
+// reference for each workload. CI runs it with -benchtime=1x as a smoke
+// test; locally, compare runs with benchstat.
+func BenchmarkHotPath(b *testing.B) {
+	for _, c := range hotpathCases() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var refs uint64
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				refs += c.run()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(refs), "ns/ref")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(refs), "allocs/ref")
+		})
+	}
+}
+
+// hotpathMeasurement is one workload's cost per simulated reference.
+type hotpathMeasurement struct {
+	Name         string  `json:"name"`
+	Refs         uint64  `json:"refs"`
+	WallMS       float64 `json:"wall_ms"`
+	NsPerRef     float64 `json:"ns_per_ref"`
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+	BytesPerRef  float64 `json:"bytes_per_ref"`
+}
+
+// hotpathBaseline pins the seed-state numbers, measured with this same
+// harness immediately before the hot-path overhaul (closure-boxed
+// container/heap event queue, map[uint64] transaction state). They are
+// the "before" column of BENCH_hotpath.json; allocs/ref and bytes/ref
+// are deterministic, ns/ref reflects the recording machine.
+var hotpathBaseline = []hotpathMeasurement{
+	{Name: "SingleRun32", Refs: 128000, WallMS: 459, NsPerRef: 3586.0, AllocsPerRef: 15.471, BytesPerRef: 678.4},
+	{Name: "SingleRun128", Refs: 51200, WallMS: 381, NsPerRef: 7441.4, AllocsPerRef: 22.081, BytesPerRef: 2665.1},
+	{Name: "Fig01At128", Refs: 3481600, WallMS: 24436, NsPerRef: 7018.6, AllocsPerRef: 23.934, BytesPerRef: 3064.5},
+}
+
+func measureHotpath(c hotpathCase) hotpathMeasurement {
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	refs := c.run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return hotpathMeasurement{
+		Name:         c.name,
+		Refs:         refs,
+		WallMS:       float64(wall.Microseconds()) / 1e3,
+		NsPerRef:     float64(wall.Nanoseconds()) / float64(refs),
+		AllocsPerRef: float64(ms1.Mallocs-ms0.Mallocs) / float64(refs),
+		BytesPerRef:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(refs),
+	}
+}
+
+// TestHotPathJSON regenerates BENCH_hotpath.json when -hotpath.json is
+// set; otherwise it is skipped. Each workload runs exactly once (the
+// simulator is deterministic, so alloc counts are exact).
+func TestHotPathJSON(t *testing.T) {
+	if *hotpathJSONPath == "" {
+		t.Skip("pass -hotpath.json <path> to write hot-path measurements")
+	}
+	doc := struct {
+		Comment   string               `json:"comment"`
+		GoVersion string               `json:"go_version"`
+		Before    []hotpathMeasurement `json:"before"`
+		After     []hotpathMeasurement `json:"after"`
+	}{
+		Comment: "Cost per simulated trace reference. 'before' is the pre-overhaul seed " +
+			"(boxed closure heap + map state), pinned in bench_hotpath_test.go; 'after' is " +
+			"regenerated by `go test -run TestHotPathJSON -hotpath.json BENCH_hotpath.json .`. " +
+			"allocs/ref and bytes/ref are deterministic; ns/ref depends on the machine.",
+		GoVersion: runtime.Version(),
+		Before:    hotpathBaseline,
+	}
+	round := func(v float64, digits int) float64 {
+		p := math.Pow(10, float64(digits))
+		return math.Round(v*p) / p
+	}
+	for _, c := range hotpathCases() {
+		m := measureHotpath(c)
+		m.WallMS = round(m.WallMS, 0)
+		m.NsPerRef = round(m.NsPerRef, 1)
+		m.AllocsPerRef = round(m.AllocsPerRef, 3)
+		m.BytesPerRef = round(m.BytesPerRef, 1)
+		doc.After = append(doc.After, m)
+		t.Logf("%s: %.1f ns/ref, %.3f allocs/ref, %.1f bytes/ref (%d refs in %.0f ms)",
+			m.Name, m.NsPerRef, m.AllocsPerRef, m.BytesPerRef, m.Refs, m.WallMS)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*hotpathJSONPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *hotpathJSONPath)
+}

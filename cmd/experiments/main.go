@@ -7,6 +7,7 @@
 //	experiments -fig 10         # one figure
 //	experiments -scale full     # the 128-core machine (slow)
 //	experiments -j 1            # serial fallback (default: all CPUs)
+//	experiments -fig 1 -cpuprofile cpu.pb.gz   # profile the hot path
 //
 // Each simulation is independent, so the suite runs them on a worker
 // pool of -j goroutines. Output is bit-identical at any -j: figures are
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,13 +28,44 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", `figure id: 1..22, "halved", "format", "genlen", "window", or "all"`)
-		scale = flag.String("scale", "experiment", "test | experiment | full")
-		quiet = flag.Bool("q", false, "suppress per-run progress")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jobs  = flag.Int("j", runtime.NumCPU(), "max simulations run concurrently (1 = serial)")
+		fig        = flag.String("fig", "all", `figure id: 1..22, "halved", "format", "genlen", "window", or "all"`)
+		scale      = flag.String("scale", "experiment", "test | experiment | full")
+		quiet      = flag.Bool("q", false, "suppress per-run progress")
+		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jobs       = flag.Int("j", runtime.NumCPU(), "max simulations run concurrently (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // surface only live + cumulative alloc data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	var sc tinydir.Scale
 	switch *scale {

@@ -2,7 +2,9 @@ package tinydir
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -65,5 +67,34 @@ func TestSuiteParallelBitIdentical(t *testing.T) {
 	if !bytes.Equal(serial, parallel) {
 		t.Fatalf("figure output differs between -j 1 and -j 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
+	}
+}
+
+// TestTrackerDumpDeterministic: the tracker-counter dump consumed by
+// cmd/tinysim (and any metric sink walking Metrics.Tracker) must render
+// identically across runs — Metrics.Tracker is a Go map, so any consumer
+// iterating it raw would be at the mercy of map iteration order. The
+// SortedTrackerKeys helper is the pinned contract: sorted, complete, and
+// stable from run to run.
+func TestTrackerDumpDeterministic(t *testing.T) {
+	o := Options{App: App("barnes"), Scheme: TinyDirectory(1.0/64, true, true), Scale: detScale}
+	render := func() string {
+		m := Run(o).Metrics
+		var buf bytes.Buffer
+		for _, k := range SortedTrackerKeys(m.Tracker) {
+			fmt.Fprintf(&buf, "%s=%d\n", k, m.Tracker[k])
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a == "" {
+		t.Fatal("tracker dump is empty: no counters rendered")
+	}
+	if a != b {
+		t.Fatalf("tracker dump diverged between identical runs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	keys := SortedTrackerKeys(Run(o).Metrics.Tracker)
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("SortedTrackerKeys returned unsorted keys: %v", keys)
 	}
 }

@@ -72,9 +72,7 @@ func (v Vec) Empty() bool {
 	return true
 }
 
-// First returns the index of the lowest set bit, or -1 if none. The paper's
-// protocol "elects" a sharer to supply data for corrupted-shared blocks; we
-// always elect the lowest-numbered sharer, which is deterministic.
+// First returns the index of the lowest set bit, or -1 if none.
 func (v Vec) First() int {
 	for wi, w := range v.words {
 		if w != 0 {

@@ -30,7 +30,12 @@ type request struct {
 	blk     uint64
 	arrive  sim.Time
 	isWrite bool
-	done    func()
+	// Completion is delivered either through the pooled handler path
+	// (h != nil) or the legacy closure path.
+	h    sim.Handler
+	op   int
+	arg  int64
+	done func()
 }
 
 type bank struct {
@@ -47,7 +52,7 @@ type channel struct {
 
 // Stats aggregates controller activity.
 type Stats struct {
-	Reads, Writes     uint64
+	Reads, Writes      uint64
 	RowHits, RowMisses uint64
 }
 
@@ -83,11 +88,29 @@ func (m *Memory) decode(blk uint64) (ch, bk int, row int64) {
 	return
 }
 
+// opKick is the Memory's own handler op: re-arm the scheduler for a channel
+// once its data bus frees. The channel index travels in addr.
+const opKick = 1
+
+// OnEvent implements sim.Handler for the controller's internal re-kicks.
+func (m *Memory) OnEvent(op int, addr uint64, arg int64) {
+	ch := int(addr)
+	m.channels[ch].kicked = false
+	m.kick(ch)
+}
+
 // Read schedules a block read; done runs when the data has left the DRAM
 // (the caller adds network latency back to the requester).
 func (m *Memory) Read(blk uint64, done func()) {
 	m.stats.Reads++
 	m.enqueue(request{blk: blk, arrive: m.eng.Now(), done: done})
+}
+
+// ReadEvent schedules a block read whose completion is delivered as a pooled
+// event h.OnEvent(op, blk, arg) — no closure allocation per access.
+func (m *Memory) ReadEvent(blk uint64, h sim.Handler, op int, arg int64) {
+	m.stats.Reads++
+	m.enqueue(request{blk: blk, arrive: m.eng.Now(), h: h, op: op, arg: arg})
 }
 
 // Write schedules a block writeback. Writes consume bank and bus time but
@@ -116,7 +139,7 @@ func (m *Memory) kick(ch int) {
 	if c.busFree > now {
 		// Bus busy: try again when it frees.
 		c.kicked = true
-		m.eng.At(c.busFree, func() { c.kicked = false; m.kick(ch) })
+		m.eng.ScheduleAt(c.busFree, m, opKick, uint64(ch), 0)
 		return
 	}
 	// FR-FCFS-lite: among the first `frfcfsWindow` pending requests pick a
@@ -163,11 +186,13 @@ func (m *Memory) kick(ch int) {
 	b.openRow = row
 	b.freeAt = finish
 	c.busFree = finish
-	if r.done != nil {
+	if r.h != nil {
+		m.eng.ScheduleAt(finish, r.h, r.op, r.blk, r.arg)
+	} else if r.done != nil {
 		m.eng.At(finish, r.done)
 	}
 	if len(c.pending) > 0 {
 		c.kicked = true
-		m.eng.At(finish, func() { c.kicked = false; m.kick(ch) })
+		m.eng.ScheduleAt(finish, m, opKick, uint64(ch), 0)
 	}
 }

@@ -154,6 +154,26 @@ func (m *Mesh) Send(src, dst int, bytes int, class TrafficClass, fn func()) sim.
 	return at
 }
 
+// SendEvent is the allocation-free variant of Send: the delivery is a pooled
+// engine event invoking h.OnEvent(op, addr, arg) instead of a captured
+// closure. Timing and traffic accounting are identical to Send.
+func (m *Mesh) SendEvent(src, dst int, bytes int, class TrafficClass, h sim.Handler, op int, addr uint64, arg int64) sim.Time {
+	d := m.Dist(src, dst)
+	m.traffic[class] += uint64(bytes * d)
+	m.msgs[class]++
+	depart := m.eng.Now()
+	if m.modelContention {
+		occ := sim.Time((bytes + m.linkBytesPerCycle - 1) / m.linkBytesPerCycle)
+		if m.portFree[src] > depart {
+			depart = m.portFree[src]
+		}
+		m.portFree[src] = depart + occ
+	}
+	at := depart + sim.Time(d*HopCycles)
+	m.eng.ScheduleAt(at, h, op, addr, arg)
+	return at
+}
+
 // Account records traffic without scheduling a delivery (used for messages
 // whose latency is folded into another event, e.g. piggybacked data).
 func (m *Mesh) Account(src, dst int, bytes int, class TrafficClass) {

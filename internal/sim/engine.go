@@ -5,44 +5,51 @@
 // fully deterministic for a given input.
 package sim
 
-import "container/heap"
-
 // Time is an absolute simulation time in core cycles.
 type Time uint64
 
-// Event is a scheduled callback.
+// Handler receives pooled events scheduled with ScheduleAt/ScheduleAfter.
+// Long-lived components (cores, banks, memory) implement it once; op selects
+// the action, addr carries the block address, and arg packs any small message
+// fields. Because the component pointer already satisfies the interface, no
+// allocation happens per event — unlike a captured closure.
+type Handler interface {
+	OnEvent(op int, addr uint64, arg int64)
+}
+
+// event is one pending callback. Exactly one of h/fn is set: h+op+addr+arg is
+// the pooled fast path, fn the legacy closure path (kept for tests, tools and
+// cold edges where a closure is clearer than an op code).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	h    Handler
+	op   int
+	addr uint64
+	arg  int64
+	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap ordering: (time, sequence). Sequence numbers are unique
+// so the order is total and runs are reproducible regardless of how the heap
+// arranges equal-priority internals.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a deterministic discrete-event scheduler.
 //
-// The zero value is ready to use.
+// The zero value is ready to use. Events live as structs inside a growable
+// slice-backed binary heap: pushing and popping moves values within the
+// backing array with no boxing and no per-event allocation once the slice has
+// grown to the steady-state high-water mark.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
+	queue  []event
 	nexec  uint64
 	halted bool
 }
@@ -53,18 +60,82 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.nexec }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics, because it would silently corrupt timing.
-func (e *Engine) At(t Time, fn func()) {
+// push inserts ev and sifts it up to its heap position.
+func (e *Engine) push(ev event) {
+	q := e.queue
+	i := len(q)
+	q = append(q, ev)
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is zeroed
+// so the retired event's handler and closure references are GC-able instead
+// of pinned by the backing array (see TestQueueReleasesReferences).
+func (e *Engine) pop() event {
+	q := e.queue
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q[l].before(&q[small]) {
+			small = l
+		}
+		if r < n && q[r].before(&q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	e.queue = q
+	return min
+}
+
+func (e *Engine) checkTime(t Time) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, because it would silently corrupt timing.
+func (e *Engine) At(t Time, fn func()) {
+	e.checkTime(t)
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// ScheduleAt schedules h.OnEvent(op, addr, arg) at absolute time t without
+// allocating: the event is a struct in the heap's backing array and h is a
+// pre-existing component pointer.
+func (e *Engine) ScheduleAt(t Time, h Handler, op int, addr uint64, arg int64) {
+	e.checkTime(t)
+	e.seq++
+	e.push(event{at: t, seq: e.seq, h: h, op: op, addr: addr, arg: arg})
+}
+
+// ScheduleAfter schedules h.OnEvent(op, addr, arg) d cycles from now.
+func (e *Engine) ScheduleAfter(d Time, h Handler, op int, addr uint64, arg int64) {
+	e.ScheduleAt(e.now+d, h, op, addr, arg)
+}
 
 // Pending reports whether any events remain.
 func (e *Engine) Pending() bool { return len(e.queue) > 0 }
@@ -77,10 +148,14 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.nexec++
-	ev.fn()
+	if ev.h != nil {
+		ev.h.OnEvent(ev.op, ev.addr, ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 

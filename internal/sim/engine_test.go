@@ -155,10 +155,114 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
+// recorder implements Handler and logs every delivery.
+type recorder struct {
+	ops   []int
+	addrs []uint64
+	args  []int64
+	times []Time
+	eng   *Engine
+}
+
+func (r *recorder) OnEvent(op int, addr uint64, arg int64) {
+	r.ops = append(r.ops, op)
+	r.addrs = append(r.addrs, addr)
+	r.args = append(r.args, arg)
+	r.times = append(r.times, r.eng.Now())
+}
+
+func TestEngineHandlerPath(t *testing.T) {
+	var e Engine
+	r := &recorder{eng: &e}
+	e.ScheduleAt(10, r, 1, 0xAA, -7)
+	e.ScheduleAt(5, r, 2, 0xBB, 3)
+	// Closure and handler events interleave in one (time, seq) order: by t=7
+	// exactly the t=3 and t=5 handler events have been delivered.
+	e.At(7, func() {
+		if len(r.ops) != 2 {
+			t.Errorf("closure at t=7 saw %d handler deliveries, want 2", len(r.ops))
+		}
+	})
+	e.ScheduleAfter(3, r, 3, 0, 0) // t=3, scheduled last but earliest
+	e.Run(0)
+	wantOps := []int{3, 2, 1}
+	wantTimes := []Time{3, 5, 10}
+	if len(r.ops) != 3 {
+		t.Fatalf("delivered %d handler events, want 3", len(r.ops))
+	}
+	for i := range wantOps {
+		if r.ops[i] != wantOps[i] || r.times[i] != wantTimes[i] {
+			t.Fatalf("delivery %d = op %d at %d, want op %d at %d",
+				i, r.ops[i], r.times[i], wantOps[i], wantTimes[i])
+		}
+	}
+	if r.addrs[2] != 0xAA || r.args[2] != -7 {
+		t.Fatalf("payload = (%#x, %d), want (0xaa, -7)", r.addrs[2], r.args[2])
+	}
+	if e.Executed() != 4 {
+		t.Fatalf("executed %d events, want 4", e.Executed())
+	}
+}
+
+func TestEngineHandlerPastPanics(t *testing.T) {
+	var e Engine
+	r := &recorder{eng: &e}
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, r, 0, 0, 0)
+	})
+	e.Run(0)
+}
+
+// TestQueueReleasesReferences pins the Pop slot-zeroing fix: after Run
+// drains, the heap's backing array must not keep retired events' handler and
+// closure pointers alive. Before the fix, popped slots kept their old
+// contents, pinning every closure's captured graph until the next push
+// overwrote the slot (or forever, at the high-water mark).
+func TestQueueReleasesReferences(t *testing.T) {
+	var e Engine
+	for i := 0; i < 100; i++ {
+		big := make([]byte, 1024)
+		e.At(Time(i), func() { _ = big })
+		e.ScheduleAt(Time(i), &recorder{eng: &e}, 0, 0, 0)
+	}
+	e.Run(0)
+	if e.Pending() {
+		t.Fatal("queue should be drained")
+	}
+	// The backing array persists at its high-water capacity; every slot in it
+	// must be zero so the GC can collect the retired events' referents.
+	for i, ev := range e.queue[:cap(e.queue)] {
+		if ev.fn != nil || ev.h != nil {
+			t.Fatalf("slot %d retains references after drain: %+v", i, ev)
+		}
+	}
+}
+
 func BenchmarkEngine(b *testing.B) {
 	var e Engine
 	for i := 0; i < b.N; i++ {
 		e.After(Time(i%64), func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkEngineHandler is the pooled fast path: no closure, no boxing.
+func BenchmarkEngineHandler(b *testing.B) {
+	var e Engine
+	r := &recorder{eng: &e}
+	r.ops = make([]int, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.ops = r.ops[:0]
+		r.addrs = r.addrs[:0]
+		r.args = r.args[:0]
+		r.times = r.times[:0]
+		e.ScheduleAfter(Time(i%64), r, 1, uint64(i), 0)
 		e.Step()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tinydir/internal/bitvec"
+	"tinydir/internal/blockmap"
 	"tinydir/internal/cache"
 	"tinydir/internal/mesh"
 	"tinydir/internal/proto"
@@ -24,6 +25,16 @@ type txn struct {
 	pre proto.Entry
 	// backInvalAcks > 0 marks a back-invalidation transaction.
 	backInvalAcks int
+	// view is the tracker view captured at Begin; the dispatch event reads
+	// it from here instead of a captured closure.
+	view proto.View
+	// grant is the private state promised by an in-flight memory fetch
+	// (fetchRespond); the entry to commit rides in next.
+	grant privState
+	// fwdExcl marks cores whose forward for this transaction came back
+	// empty (phantom sharers); the re-election skips them. Zero until the
+	// first forward-miss.
+	fwdExcl bitvec.Vec
 }
 
 // bankNode is one LLC bank with its coherence-tracking slice.
@@ -32,15 +43,16 @@ type bankNode struct {
 	id      int
 	llc     *proto.LLC
 	tracker proto.Tracker
-	busy    map[uint64]*txn
+	// busy maps block address -> in-flight transaction; open-addressed
+	// because it is probed on every message arrival.
+	busy blockmap.Map[*txn]
 }
 
 func newBankNode(sys *System, id int) *bankNode {
 	b := &bankNode{
-		sys:  sys,
-		id:   id,
-		llc:  cache.New[proto.LLCMeta](sys.cfg.LLCSets, sys.cfg.LLCWays, cache.LRU),
-		busy: map[uint64]*txn{},
+		sys: sys,
+		id:  id,
+		llc: cache.New[proto.LLCMeta](sys.cfg.LLCSets, sys.cfg.LLCWays, cache.LRU),
 	}
 	b.llc.SetIndexShift(sys.cfg.bankShift())
 	b.tracker = sys.cfg.NewTracker(id)
@@ -51,15 +63,12 @@ func newBankNode(sys *System, id int) *bankNode {
 // bankEnv adapts bankNode to proto.BankEnv.
 type bankEnv bankNode
 
-func (e *bankEnv) LLC() *proto.LLC  { return e.llc }
-func (e *bankEnv) Cores() int       { return e.sys.cfg.Cores }
-func (e *bankEnv) Now() sim.Time    { return e.sys.eng.Now() }
-func (e *bankEnv) BankID() int      { return e.id }
-func (e *bankEnv) BankShift() uint  { return e.sys.cfg.bankShift() }
-func (e *bankEnv) IsBusy(addr uint64) bool {
-	_, ok := e.busy[addr]
-	return ok
-}
+func (e *bankEnv) LLC() *proto.LLC         { return e.llc }
+func (e *bankEnv) Cores() int              { return e.sys.cfg.Cores }
+func (e *bankEnv) Now() sim.Time           { return e.sys.eng.Now() }
+func (e *bankEnv) BankID() int             { return e.id }
+func (e *bankEnv) BankShift() uint         { return e.sys.cfg.bankShift() }
+func (e *bankEnv) IsBusy(addr uint64) bool { return e.busy.Has(addr) }
 func (e *bankEnv) FindHolders(addr uint64) proto.Entry {
 	return (*bankNode)(e).sys.findHolders(addr)
 }
@@ -81,11 +90,9 @@ func (b *bankNode) dataLine(addr uint64) *proto.LLCLine {
 // handleReq processes a demand request at the home bank.
 func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
 	m := &b.sys.metrics
-	if _, isBusy := b.busy[addr]; isBusy {
+	if b.busy.Has(addr) {
 		m.Nacks++
-		b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Processor, func() {
-			b.sys.cores[c].onNack(addr)
-		})
+		b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Processor, b.sys.cores[c], copNack, addr, 0)
 		return
 	}
 	dl := b.dataLine(addr)
@@ -124,8 +131,8 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
 		m.SpillAvoided++
 	}
 
-	t := &txn{kind: kind, requester: c}
-	b.busy[addr] = t
+	t := &txn{kind: kind, requester: c, view: view}
+	b.busy.Put(addr, t)
 
 	lat := b.sys.cfg.LLCTagLat + sim.Time(view.ExtraLatency)
 	if llcHit {
@@ -142,11 +149,11 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
 		}
 		lat += sim.Time(2 * b.sys.maxDist * mesh.HopCycles)
 	}
-	b.sys.eng.After(lat, func() { b.dispatch(addr, kind, c, view) })
+	b.sys.eng.ScheduleAfter(lat, b, bopDispatch, addr, 0)
 }
 
 func (b *bankNode) dispatch(addr uint64, kind proto.ReqKind, c int, view proto.View) {
-	if t := b.busy[addr]; t != nil {
+	if t, ok := b.busy.Get(addr); ok {
 		t.pre = view.E
 	}
 	e := view.E
@@ -183,7 +190,8 @@ func (b *bankNode) dispatchRead(addr uint64, kind proto.ReqKind, c int, view pro
 		dl := b.dataLine(addr)
 		if dl != nil && !view.SupplyFromLLC {
 			// Corrupted-shared: elect a sharer to supply (three hops).
-			s := b.electSharer(e.Sharers, c)
+			t, _ := b.busy.Get(addr)
+			s := b.electSharer(e.Sharers, c, t.fwdExcl)
 			if s >= 0 {
 				b.forward(addr, kind, c, s)
 				return
@@ -213,7 +221,7 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 	case proto.Exclusive:
 		b.forward(addr, kind, c, e.Owner)
 	case proto.Shared:
-		t := b.busy[addr]
+		t, _ := b.busy.Get(addr)
 		needData := kind == proto.GetX || !e.Sharers.Test(c)
 		dl := b.dataLine(addr)
 		dataFromLLC := needData && view.SupplyFromLLC && dl != nil
@@ -225,7 +233,7 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 			}
 		})
 		if needData && !dataFromLLC {
-			elect = b.electSharer(e.Sharers, c)
+			elect = b.electSharer(e.Sharers, c, t.fwdExcl)
 		}
 		if needData && !dataFromLLC && elect < 0 {
 			// No other sharer can supply; clean data lives in memory.
@@ -258,11 +266,9 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 			if s == c {
 				return
 			}
-			sc := b.sys.cores[s]
 			withData := s == elect
-			b.sys.net.Send(b.id, s, mesh.CtrlBytes, mesh.Coherence, func() {
-				sc.onInv(addr, c, -1, withData)
-			})
+			b.sys.net.SendEvent(b.id, s, mesh.CtrlBytes, mesh.Coherence,
+				b.sys.cores[s], copInv, addr, pk(int16(c), -1, b2i(withData), 0))
 		})
 	}
 }
@@ -274,10 +280,25 @@ func (b *bankNode) sharedEntry(c int) proto.Entry {
 	return proto.Entry{State: proto.Shared, Sharers: v}
 }
 
-// electSharer picks the lowest-numbered sharer other than the requester.
-func (b *bankNode) electSharer(sharers bitvec.Vec, not int) int {
-	for s := sharers.First(); s >= 0; s = sharers.Next(s) {
-		if s != not {
+// electSharer picks the sharer that supplies data for a corrupted-shared
+// block. The election starts just above the requester's id and wraps, so
+// supply duty rotates with the requester instead of always falling on the
+// lowest-numbered sharer (which would skew the Fig. 5 traffic split toward
+// low tiles). excl masks out sharers a previous forward for this
+// transaction already found empty-handed (phantom sharers of lossy entry
+// formats); it may be the zero Vec. Returns -1 when no electable sharer
+// remains.
+func (b *bankNode) electSharer(sharers bitvec.Vec, not int, excl bitvec.Vec) int {
+	ok := func(s int) bool {
+		return s != not && (excl.Len() == 0 || !excl.Test(s))
+	}
+	for s := sharers.Next(not); s >= 0; s = sharers.Next(s) {
+		if ok(s) {
+			return s
+		}
+	}
+	for s := sharers.First(); s >= 0 && s < not; s = sharers.Next(s) {
+		if ok(s) {
 			return s
 		}
 	}
@@ -295,32 +316,48 @@ func (b *bankNode) supplyFromLLCOrMem(addr uint64, c int, grant privState, next 
 }
 
 // fetchRespond fetches the block from memory, fills the LLC, responds,
-// and commits. The block stays busy for the duration.
+// and commits. The block stays busy for the duration; the grant and the
+// entry to commit ride in the transaction until the data returns
+// (memFetchDone).
 func (b *bankNode) fetchRespond(addr uint64, c int, grant privState, next proto.Entry, kind proto.ReqKind) {
-	b.memFetch(addr, func() {
-		if line := b.fill(addr); line == nil {
-			// Could not allocate an LLC way (every candidate busy):
-			// NACK so the requester retries.
-			delete(b.busy, addr)
-			b.sys.metrics.Nacks++
-			b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Processor, func() {
-				b.sys.cores[c].onNack(addr)
-			})
-			return
-		}
-		b.respond(addr, c, grant, 1, 0, false)
-		b.commitAndRelease(addr, kind, c, next)
-	})
+	t, _ := b.busy.Get(addr)
+	if t == nil || t.kind != kind || t.requester != c {
+		panic(fmt.Sprintf("bank %d: fetch for mismatched transaction %#x", b.id, addr))
+	}
+	t.grant = grant
+	t.next = next
+	tile := b.sys.memTile(addr)
+	b.sys.metrics.MemReads++
+	b.sys.net.SendEvent(b.id, tile, mesh.CtrlBytes, mesh.Processor, b, bopMemReadArrive, addr, 0)
+}
+
+// memFetchDone completes a fetchRespond once the block lands back at the
+// bank: fill the LLC (NACK the requester if no way can be allocated),
+// respond and commit.
+func (b *bankNode) memFetchDone(addr uint64) {
+	t, _ := b.busy.Get(addr)
+	if t == nil {
+		panic(fmt.Sprintf("bank %d: fetched data for idle block %#x", b.id, addr))
+	}
+	if line := b.fill(addr); line == nil {
+		// Could not allocate an LLC way (every candidate busy): NACK so
+		// the requester retries.
+		b.busy.Delete(addr)
+		b.sys.metrics.Nacks++
+		b.sys.net.SendEvent(b.id, t.requester, mesh.CtrlBytes, mesh.Processor,
+			b.sys.cores[t.requester], copNack, addr, 0)
+		return
+	}
+	b.respond(addr, t.requester, t.grant, 1, 0, false)
+	b.commitAndRelease(addr, t.kind, t.requester, t.next)
 }
 
 // forward sends a three-hop forward to the owner (or elected sharer);
 // the commit happens at busy-clear.
 func (b *bankNode) forward(addr uint64, kind proto.ReqKind, c, owner int) {
 	b.sys.metrics.Forwards++
-	oc := b.sys.cores[owner]
-	b.sys.net.Send(b.id, owner, mesh.CtrlBytes, mesh.Coherence, func() {
-		oc.onFwd(addr, kind, c, b.id)
-	})
+	b.sys.net.SendEvent(b.id, owner, mesh.CtrlBytes, mesh.Coherence,
+		b.sys.cores[owner], copFwd, addr, pk(int16(kind), int16(c), int16(b.id), 0))
 }
 
 // respond sends the home bank's grant to the requester.
@@ -329,10 +366,8 @@ func (b *bankNode) respond(addr uint64, c int, grant privState, dataMode, wantAc
 	if dataMode == 1 {
 		bytes = mesh.DataBytes
 	}
-	cc := b.sys.cores[c]
-	b.sys.net.Send(b.id, c, bytes, mesh.Processor, func() {
-		cc.onGrant(addr, grant, dataMode, wantAcks, notify)
-	})
+	b.sys.net.SendEvent(b.id, c, bytes, mesh.Processor, b.sys.cores[c], copGrant, addr,
+		pk(int16(grant), int16(dataMode), int16(wantAcks), b2i(notify)))
 }
 
 // commitAndRelease commits the post-transaction state now and releases
@@ -341,30 +376,41 @@ func (b *bankNode) respond(addr uint64, c int, grant privState, dataMode, wantAc
 func (b *bankNode) commitAndRelease(addr uint64, kind proto.ReqKind, from int, next proto.Entry) {
 	b.commit(addr, kind, from, next)
 	release := b.sys.net.Latency(b.id, from) + 1
-	b.sys.eng.After(release, func() { delete(b.busy, addr) })
+	b.sys.eng.ScheduleAfter(release, b, bopRelease, addr, 0)
 }
 
 // onFwdMiss restarts a transaction whose forward found no copy at the
-// presumed owner (a stale oracle view that raced an in-flight eviction
-// acknowledgement). The block is still busy; re-evaluate against the
-// tracker's current state and dispatch again.
-func (b *bankNode) onFwdMiss(addr uint64, kind proto.ReqKind, c int) {
-	if b.busy[addr] == nil {
+// presumed owner — a stale oracle view that raced an in-flight eviction
+// acknowledgement, or a phantom sharer introduced by a lossy entry format
+// (limited-pointer overflow, coarse vector). The block is still busy;
+// missedAt is excluded from re-election (each restart shrinks the electable
+// set, so the loop terminates in the memory-supply fallback at the latest)
+// and the transaction is re-evaluated against the tracker's current state.
+func (b *bankNode) onFwdMiss(addr uint64, kind proto.ReqKind, c, missedAt int) {
+	t, _ := b.busy.Get(addr)
+	if t == nil {
 		panic(fmt.Sprintf("bank %d: forward-miss for idle block %#x", b.id, addr))
 	}
 	b.sys.metrics.FwdMisses++
+	if missedAt >= 0 {
+		if t.fwdExcl.Len() == 0 {
+			t.fwdExcl = bitvec.New(b.sys.cfg.Cores)
+		}
+		t.fwdExcl.Set(missedAt)
+	}
 	dl := b.dataLine(addr)
 	view := b.tracker.Begin(addr, kind, dl != nil)
 	lat := b.sys.cfg.LLCTagLat + sim.Time(view.ExtraLatency)
 	if dl != nil {
 		lat += b.sys.cfg.LLCDataLat
 	}
-	b.sys.eng.After(lat, func() { b.dispatch(addr, kind, c, view) })
+	t.view = view
+	b.sys.eng.ScheduleAfter(lat, b, bopDispatch, addr, 0)
 }
 
 // onBusyClear completes a three-hop transaction.
 func (b *bankNode) onBusyClear(addr uint64, retained, copybackDirty bool) {
-	t := b.busy[addr]
+	t, _ := b.busy.Get(addr)
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: busy-clear for idle block %#x", b.id, addr))
 	}
@@ -394,18 +440,18 @@ func (b *bankNode) onBusyClear(addr uint64, retained, copybackDirty bool) {
 		next = proto.Entry{State: proto.Exclusive, Owner: t.requester}
 	}
 	b.commit(addr, t.kind, t.requester, next)
-	delete(b.busy, addr)
+	b.busy.Delete(addr)
 }
 
 // onComplete finishes a requester-completion transaction (GetX/Upg with
 // invalidations).
 func (b *bankNode) onComplete(addr uint64) {
-	t := b.busy[addr]
+	t, _ := b.busy.Get(addr)
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: completion for idle block %#x", b.id, addr))
 	}
 	b.commit(addr, t.kind, t.requester, t.next)
-	delete(b.busy, addr)
+	b.busy.Delete(addr)
 }
 
 // commit pushes the post-transaction state into the tracker and executes
@@ -457,28 +503,24 @@ func (b *bankNode) backInvalidate(v proto.Victim) {
 		return
 	}
 	b.sys.metrics.BackInvals++
-	if _, isBusy := b.busy[v.Addr]; isBusy {
+	if b.busy.Has(v.Addr) {
 		panic(fmt.Sprintf("bank %d: back-invalidation of busy block %#x", b.id, v.Addr))
 	}
-	t := &txn{backInvalAcks: len(holders)}
-	b.busy[v.Addr] = t
+	b.busy.Put(v.Addr, &txn{backInvalAcks: len(holders)})
 	for _, h := range holders {
-		hc := b.sys.cores[h]
-		addr := v.Addr
-		b.sys.net.Send(b.id, h, mesh.CtrlBytes, mesh.Coherence, func() {
-			hc.onInv(addr, -1, b.id, false)
-		})
+		b.sys.net.SendEvent(b.id, h, mesh.CtrlBytes, mesh.Coherence,
+			b.sys.cores[h], copInv, v.Addr, pk(-1, int16(b.id), 0, 0))
 	}
 }
 
 func (b *bankNode) onBackInvAck(addr uint64) {
-	t := b.busy[addr]
+	t, _ := b.busy.Get(addr)
 	if t == nil || t.backInvalAcks == 0 {
 		panic(fmt.Sprintf("bank %d: unexpected back-inval ack for %#x", b.id, addr))
 	}
 	t.backInvalAcks--
 	if t.backInvalAcks == 0 {
-		delete(b.busy, addr)
+		b.busy.Delete(addr)
 	}
 }
 
@@ -496,11 +538,10 @@ func (b *bankNode) onWbData(addr uint64) {
 // handleEvict processes an eviction notice from a private cache.
 func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int) {
 	m := &b.sys.metrics
-	if _, isBusy := b.busy[addr]; isBusy {
+	if b.busy.Has(addr) {
 		m.Nacks++
-		b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Writeback, func() {
-			b.sys.cores[c].onEvictNack(addr)
-		})
+		b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Writeback,
+			b.sys.cores[c], copEvictNack, addr, 0)
 		return
 	}
 	dl := b.dataLine(addr)
@@ -539,20 +580,8 @@ func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int) {
 	// Acknowledge so the core releases its eviction buffer. Stale
 	// notices (the copy was invalidated while the notice was in flight)
 	// are acknowledged without a commit.
-	b.sys.net.Send(b.id, c, mesh.CtrlBytes, mesh.Writeback, func() {
-		b.sys.cores[c].onEvictAck(addr)
-	})
-}
-
-// memFetch reads a block from the owning memory controller.
-func (b *bankNode) memFetch(addr uint64, done func()) {
-	tile := b.sys.memTile(addr)
-	b.sys.metrics.MemReads++
-	b.sys.net.Send(b.id, tile, mesh.CtrlBytes, mesh.Processor, func() {
-		b.sys.mem.Read(addr, func() {
-			b.sys.net.Send(tile, b.id, mesh.DataBytes, mesh.Processor, done)
-		})
-	})
+	b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Writeback,
+		b.sys.cores[c], copEvictAck, addr, 0)
 }
 
 // fill allocates an LLC line for addr (fill on miss / writeback

@@ -26,10 +26,10 @@ type Config struct {
 	MemChannels int
 
 	// Latencies in cycles (Table I).
-	L1Lat, L2Lat       sim.Time
-	LLCTagLat          sim.Time
-	LLCDataLat         sim.Time
-	NackRetry          sim.Time
+	L1Lat, L2Lat sim.Time
+	LLCTagLat    sim.Time
+	LLCDataLat   sim.Time
+	NackRetry    sim.Time
 
 	ModelContention bool
 
@@ -47,14 +47,14 @@ type Config struct {
 // L2 blocks), i.e. 256 KB/bank at any scale.
 func DefaultConfig(cores int) Config {
 	return Config{
-		Cores:       cores,
-		L1Sets:      64, L1Ways: 8, // 32 KB
-		L2Sets:      256, L2Ways: 8, // 128 KB
-		LLCSets:     256, LLCWays: 16, // 256 KB per bank
+		Cores:  cores,
+		L1Sets: 64, L1Ways: 8, // 32 KB
+		L2Sets: 256, L2Ways: 8, // 128 KB
+		LLCSets: 256, LLCWays: 16, // 256 KB per bank
 		MemChannels: 8,
 		L1Lat:       2, L2Lat: 3,
-		LLCTagLat:   4, LLCDataLat: 2,
-		NackRetry:   25,
+		LLCTagLat: 4, LLCDataLat: 2,
+		NackRetry: 25,
 	}
 }
 

@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 
+	"tinydir/internal/blockmap"
 	"tinydir/internal/cache"
 	"tinydir/internal/mesh"
 	"tinydir/internal/proto"
@@ -48,14 +49,16 @@ type coreNode struct {
 	refs []trace.Ref
 	pos  int
 
-	out      *outstanding
-	evictBuf map[uint64]privState
+	out *outstanding
+	// evictBuf holds blocks between eviction notice and acknowledgement;
+	// open-addressed because it is probed on every miss issue and forward.
+	evictBuf blockmap.Map[privState]
 
 	// pendingFwd queues a forwarded request that raced ahead of this
 	// core's own fill for the same block; pendingInvs queues
 	// invalidations in the same situation (GS320-style late handling).
-	pendingFwd  map[uint64]fwdReq
-	pendingInvs map[uint64][]invReq
+	pendingFwd  blockmap.Map[fwdReq]
+	pendingInvs blockmap.Map[[]invReq]
 
 	finished bool
 	finishAt sim.Time
@@ -77,15 +80,12 @@ type invReq struct {
 func newCoreNode(sys *System, id int, refs []trace.Ref) *coreNode {
 	cfg := sys.cfg
 	c := &coreNode{
-		sys:         sys,
-		id:          id,
-		l1i:         cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
-		l1d:         cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
-		l2:          cache.New[privMeta](cfg.L2Sets, cfg.L2Ways, cache.LRU),
-		refs:        refs,
-		evictBuf:    map[uint64]privState{},
-		pendingFwd:  map[uint64]fwdReq{},
-		pendingInvs: map[uint64][]invReq{},
+		sys:  sys,
+		id:   id,
+		l1i:  cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
+		l1d:  cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
+		l2:   cache.New[privMeta](cfg.L2Sets, cfg.L2Ways, cache.LRU),
+		refs: refs,
 	}
 	return c
 }
@@ -165,14 +165,13 @@ func (c *coreNode) step() {
 			wantAcks: -1,
 		}
 		c.sys.metrics.PrivateMisses++
-		addr := ref.Addr
-		eng.After(elapsed+c.sys.cfg.L1Lat+c.sys.cfg.L2Lat, func() { c.sendReq(addr) })
+		eng.ScheduleAfter(elapsed+c.sys.cfg.L1Lat+c.sys.cfg.L2Lat, c, copSendReq, ref.Addr, 0)
 		return
 	}
 }
 
 func (c *coreNode) sendReq(addr uint64) {
-	if _, pending := c.evictBuf[addr]; pending {
+	if c.evictBuf.Has(addr) {
 		// Our own eviction notice for this block is still un-acked. A new
 		// request now could re-acquire the block before the notice reaches
 		// the home bank, which would then mistake the stale notice for the
@@ -180,18 +179,12 @@ func (c *coreNode) sendReq(addr uint64) {
 		// take it exclusively alongside ours). Hold the request until the
 		// acknowledgement drains the eviction buffer.
 		c.sys.metrics.Retries++
-		c.sys.eng.After(c.sys.cfg.NackRetry, func() {
-			if c.out != nil && c.out.addr == addr && !c.out.done {
-				c.sendReq(addr)
-			}
-		})
+		c.sys.eng.ScheduleAfter(c.sys.cfg.NackRetry, c, copRetrySend, addr, 0)
 		return
 	}
 	b := c.sys.bankOf(addr)
-	kind := c.out.kind
-	c.sys.net.Send(c.id, b.id, mesh.CtrlBytes, mesh.Processor, func() {
-		b.handleReq(addr, kind, c.id)
-	})
+	c.sys.net.SendEvent(c.id, b.id, mesh.CtrlBytes, mesh.Processor,
+		b, bopHandleReq, addr, pk(int16(c.out.kind), int16(c.id), 0, 0))
 }
 
 // onNack retries the request after a backoff (the paper's NACK/retry
@@ -202,11 +195,7 @@ func (c *coreNode) onNack(addr uint64) {
 	}
 	c.retries++
 	c.sys.metrics.Retries++
-	c.sys.eng.After(c.sys.cfg.NackRetry, func() {
-		if c.out != nil && c.out.addr == addr && !c.out.done {
-			c.sendReq(addr)
-		}
-	})
+	c.sys.eng.ScheduleAfter(c.sys.cfg.NackRetry, c, copRetrySend, addr, 0)
 }
 
 // onGrant receives the home bank's response.
@@ -275,19 +264,17 @@ func (c *coreNode) maybeComplete() {
 	}
 	if o.notifyHome {
 		b := c.sys.bankOf(o.addr)
-		c.sys.net.Send(c.id, b.id, mesh.CtrlBytes, mesh.Coherence, func() {
-			b.onComplete(o.addr)
-		})
+		c.sys.net.SendEvent(c.id, b.id, mesh.CtrlBytes, mesh.Coherence, b, bopComplete, o.addr, 0)
 	}
 	c.out = nil
 	c.pos++
 	// Serve any forwarded request / invalidations that raced ahead.
-	if f, ok := c.pendingFwd[o.addr]; ok {
-		delete(c.pendingFwd, o.addr)
+	if f, ok := c.pendingFwd.Get(o.addr); ok {
+		c.pendingFwd.Delete(o.addr)
 		c.onFwd(o.addr, f.kind, f.requester, f.bank)
 	}
-	if invs, ok := c.pendingInvs[o.addr]; ok {
-		delete(c.pendingInvs, o.addr)
+	if invs, ok := c.pendingInvs.Get(o.addr); ok {
+		c.pendingInvs.Delete(o.addr)
 		for _, iv := range invs {
 			c.onInv(o.addr, iv.ackTo, iv.ackBank, iv.withData)
 		}
@@ -322,12 +309,12 @@ func (c *coreNode) fill(addr uint64, st privState, ifetch bool) {
 }
 
 func (c *coreNode) sendEvict(addr uint64, st privState) {
-	c.evictBuf[addr] = st
+	c.evictBuf.Put(addr, st)
 	c.transmitEvict(addr)
 }
 
 func (c *coreNode) transmitEvict(addr uint64) {
-	st, ok := c.evictBuf[addr]
+	st, ok := c.evictBuf.Get(addr)
 	if !ok {
 		return // invalidated while the notice was pending
 	}
@@ -341,18 +328,17 @@ func (c *coreNode) transmitEvict(addr uint64) {
 		bytes = mesh.DataBytes
 	}
 	b := c.sys.bankOf(addr)
-	c.sys.net.Send(c.id, b.id, bytes, mesh.Writeback, func() {
-		b.handleEvict(addr, kind, c.id)
-	})
+	c.sys.net.SendEvent(c.id, b.id, bytes, mesh.Writeback,
+		b, bopHandleEvict, addr, pk(int16(kind), int16(c.id), 0, 0))
 }
 
 func (c *coreNode) onEvictNack(addr uint64) {
 	c.sys.metrics.Retries++
-	c.sys.eng.After(c.sys.cfg.NackRetry, func() { c.transmitEvict(addr) })
+	c.sys.eng.ScheduleAfter(c.sys.cfg.NackRetry, c, copTransmitEvict, addr, 0)
 }
 
 func (c *coreNode) onEvictAck(addr uint64) {
-	delete(c.evictBuf, addr)
+	c.evictBuf.Delete(addr)
 }
 
 // onFwd serves a request forwarded by the home bank: this core is the
@@ -364,7 +350,7 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
 		// the request is still being NACKed, or the forward names us as
 		// requester, our copy sits in the eviction buffer — serve it now
 		// or the home bank's transaction deadlocks.)
-		c.pendingFwd[addr] = fwdReq{kind: kind, requester: requester, bank: bank}
+		c.pendingFwd.Put(addr, fwdReq{kind: kind, requester: requester, bank: bank})
 		return
 	}
 	st := psI
@@ -388,7 +374,7 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
 				il.Meta.st = psS
 			}
 		}
-	} else if bst, ok := c.evictBuf[addr]; ok {
+	} else if bst, ok := c.evictBuf.Get(addr); ok {
 		// Late intervention: serve from the eviction buffer (GS320).
 		st = bst
 		retained = false
@@ -398,10 +384,8 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
 		// acknowledgement is already in flight; by the time the forward
 		// lands, the copy is gone. Ask the home bank to re-evaluate the
 		// transaction against its now-current state.
-		bk := c.sys.banks[bank]
-		c.sys.net.Send(c.id, bank, mesh.CtrlBytes, mesh.Coherence, func() {
-			bk.onFwdMiss(addr, kind, requester)
-		})
+		c.sys.net.SendEvent(c.id, bank, mesh.CtrlBytes, mesh.Coherence,
+			c.sys.banks[bank], bopFwdMiss, addr, pk(int16(kind), int16(requester), int16(c.id), 0))
 		return
 	}
 
@@ -409,10 +393,8 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
 	if kind == proto.GetX || kind == proto.Upg {
 		grant = psM
 	}
-	req := c.sys.cores[requester]
-	c.sys.net.Send(c.id, requester, mesh.DataBytes, mesh.Processor, func() {
-		req.onOwnerData(addr, grant)
-	})
+	c.sys.net.SendEvent(c.id, requester, mesh.DataBytes, mesh.Processor,
+		c.sys.cores[requester], copOwnerData, addr, pk(int16(grant), 0, 0, 0))
 	// Busy-clear to the home bank; an M->S downgrade ships the dirty data
 	// back to the LLC with it.
 	dirty := st == psM && kind.IsRead()
@@ -420,10 +402,8 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
 	if dirty {
 		bytes = mesh.DataBytes
 	}
-	bk := c.sys.banks[bank]
-	c.sys.net.Send(c.id, bank, bytes, mesh.Coherence, func() {
-		bk.onBusyClear(addr, retained, dirty)
-	})
+	c.sys.net.SendEvent(c.id, bank, bytes, mesh.Coherence,
+		c.sys.banks[bank], bopBusyClear, addr, pk(b2i(retained), b2i(dirty), 0, 0))
 }
 
 // onInv invalidates this core's copy. ackTo >= 0 directs the
@@ -435,7 +415,8 @@ func (c *coreNode) onInv(addr uint64, ackTo, ackBank int, withData bool) {
 		if c.out.hasGrant {
 			// Our fill was granted but the data is still in flight:
 			// apply the invalidation right after completion.
-			c.pendingInvs[addr] = append(c.pendingInvs[addr], invReq{ackTo: ackTo, ackBank: ackBank, withData: withData})
+			invs, _ := c.pendingInvs.Get(addr)
+			c.pendingInvs.Put(addr, append(invs, invReq{ackTo: ackTo, ackBank: ackBank, withData: withData}))
 			return
 		}
 		// Our request is still being NACKed: another core won the race.
@@ -455,16 +436,14 @@ func (c *coreNode) onInv(addr uint64, ackTo, ackBank int, withData bool) {
 	if c.sys.obs != nil {
 		c.sys.obs.Invalidate(c.id, addr)
 	}
-	if st, ok := c.evictBuf[addr]; ok {
+	if st, ok := c.evictBuf.Get(addr); ok {
 		wasM = wasM || st == psM
-		delete(c.evictBuf, addr) // the pending notice becomes stale
+		c.evictBuf.Delete(addr) // the pending notice becomes stale
 	}
 	if wasM && ackBank >= 0 {
 		// Dirty data retrieved by a back-invalidation.
-		bk := c.sys.banks[ackBank]
-		c.sys.net.Send(c.id, ackBank, mesh.DataBytes, mesh.Writeback, func() {
-			bk.onWbData(addr)
-		})
+		c.sys.net.SendEvent(c.id, ackBank, mesh.DataBytes, mesh.Writeback,
+			c.sys.banks[ackBank], bopWbData, addr, 0)
 	}
 	switch {
 	case ackTo >= 0:
@@ -472,15 +451,11 @@ func (c *coreNode) onInv(addr uint64, ackTo, ackBank int, withData bool) {
 		if withData {
 			bytes = mesh.DataBytes
 		}
-		req := c.sys.cores[ackTo]
-		c.sys.net.Send(c.id, ackTo, bytes, mesh.Coherence, func() {
-			req.onInvAck(addr, withData)
-		})
+		c.sys.net.SendEvent(c.id, ackTo, bytes, mesh.Coherence,
+			c.sys.cores[ackTo], copInvAck, addr, pk(b2i(withData), 0, 0, 0))
 	case ackBank >= 0:
-		bk := c.sys.banks[ackBank]
-		c.sys.net.Send(c.id, ackBank, mesh.CtrlBytes, mesh.Coherence, func() {
-			bk.onBackInvAck(addr)
-		})
+		c.sys.net.SendEvent(c.id, ackBank, mesh.CtrlBytes, mesh.Coherence,
+			c.sys.banks[ackBank], bopBackInvAck, addr, 0)
 	}
 }
 
@@ -490,7 +465,7 @@ func (c *coreNode) holds(addr uint64) privState {
 	if l := c.l2.Lookup(addr); l != nil {
 		return l.Meta.st
 	}
-	if st, ok := c.evictBuf[addr]; ok {
+	if st, ok := c.evictBuf.Get(addr); ok {
 		return st
 	}
 	return psI

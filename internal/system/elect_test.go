@@ -1,0 +1,85 @@
+package system
+
+import (
+	"testing"
+
+	"tinydir/internal/bitvec"
+)
+
+// electSharer is a pure function of its arguments, so a zero bankNode
+// suffices as receiver.
+
+func mkSharers(n int, ids ...int) bitvec.Vec {
+	v := bitvec.New(n)
+	for _, id := range ids {
+		v.Set(id)
+	}
+	return v
+}
+
+// TestElectSharerNeverRequester: the elected supplier must never be the
+// requester itself, whatever the sharer set contains.
+func TestElectSharerNeverRequester(t *testing.T) {
+	var b bankNode
+	const n = 16
+	for req := 0; req < n; req++ {
+		// Sharer set that always contains the requester plus others.
+		s := mkSharers(n, req, (req+3)%n, (req+7)%n)
+		if got := b.electSharer(s, req, bitvec.Vec{}); got == req {
+			t.Fatalf("requester %d elected to supply itself", req)
+		}
+		// Requester is the only sharer: no election possible.
+		if got := b.electSharer(mkSharers(n, req), req, bitvec.Vec{}); got != -1 {
+			t.Fatalf("sole-sharer requester %d: elect = %d, want -1", req, got)
+		}
+	}
+}
+
+// TestElectSharerRotates: election must rotate with the requester id
+// instead of systematically picking the lowest-numbered sharer, which
+// would pile all supply traffic onto low tiles.
+func TestElectSharerRotates(t *testing.T) {
+	var b bankNode
+	const n = 16
+	sharers := mkSharers(n, 2, 5, 11)
+	want := map[int]int{
+		0:  2,  // below the whole set: first sharer above 0
+		2:  5,  // requester is a sharer: next one up
+		5:  11, // ditto
+		7:  11, // between 5 and 11
+		11: 2,  // top sharer wraps to the bottom
+		14: 2,  // above the whole set: wraps
+	}
+	counts := map[int]int{}
+	for req, w := range want {
+		got := b.electSharer(sharers, req, bitvec.Vec{})
+		if got != w {
+			t.Errorf("requester %d: elect = %d, want %d", req, got, w)
+		}
+		counts[got]++
+	}
+	// Every sharer takes a turn: supply duty is actually distributed.
+	for _, s := range []int{2, 5, 11} {
+		if counts[s] == 0 {
+			t.Errorf("sharer %d never elected across rotating requesters", s)
+		}
+	}
+}
+
+// TestElectSharerExclusion: sharers a previous forward found empty-handed
+// (phantoms of lossy formats) are skipped, and exhausting the set yields
+// -1 (the memory-supply fallback), guaranteeing restart termination.
+func TestElectSharerExclusion(t *testing.T) {
+	var b bankNode
+	const n = 16
+	sharers := mkSharers(n, 2, 5, 11)
+	if got := b.electSharer(sharers, 3, mkSharers(n, 5)); got != 11 {
+		t.Fatalf("with 5 excluded, requester 3: elect = %d, want 11", got)
+	}
+	if got := b.electSharer(sharers, 3, mkSharers(n, 5, 11)); got != 2 {
+		t.Fatalf("with 5,11 excluded, requester 3: elect = %d, want 2", got)
+	}
+	if got := b.electSharer(sharers, 3, mkSharers(n, 2, 5, 11)); got != -1 {
+		t.Fatalf("with all excluded, requester 3: elect = %d, want -1", got)
+	}
+}

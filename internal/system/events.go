@@ -1,0 +1,143 @@
+package system
+
+// Pooled event plumbing. Every hot message edge (core<->bank, bank<->memory,
+// retry timers, busy release) is delivered as a sim.Handler event: an op code
+// plus a block address plus up to four small fields packed into int64. The
+// handler receivers are the long-lived coreNode/bankNode pointers, so
+// scheduling allocates nothing — unlike the closure path these replaced.
+
+import (
+	"fmt"
+
+	"tinydir/internal/mesh"
+	"tinydir/internal/proto"
+)
+
+// pk packs four small signed fields into one event arg; unpk reverses it.
+// All protocol fields (request kinds, core/bank ids, private states, ack
+// counts, booleans) fit in int16 — ids are bounded by the core count and may
+// be -1 sentinels, which the signed round-trip preserves.
+func pk(a, b, c, d int16) int64 {
+	return int64(uint64(uint16(a)) | uint64(uint16(b))<<16 |
+		uint64(uint16(c))<<32 | uint64(uint16(d))<<48)
+}
+
+func unpk(v int64) (a, b, c, d int16) {
+	u := uint64(v)
+	return int16(uint16(u)), int16(uint16(u >> 16)), int16(uint16(u >> 32)), int16(uint16(u >> 48))
+}
+
+func b2i(b bool) int16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Core ops (coreNode.OnEvent).
+const (
+	copSendReq       = iota // issue the outstanding miss (after private-hit latency)
+	copRetrySend            // guarded NACK/evict-hold retry timer
+	copNack                 // home bank NACK delivery
+	copGrant                // home bank grant: arg = (state, dataMode, wantAcks, notify)
+	copOwnerData            // three-hop data from owner/sharer: arg = (state)
+	copInvAck               // invalidation ack collection: arg = (withData)
+	copFwd                  // forwarded request: arg = (kind, requester, bank)
+	copInv                  // invalidation: arg = (ackTo, ackBank, withData)
+	copEvictAck             // eviction notice acknowledged
+	copEvictNack            // eviction notice NACKed (block busy at home)
+	copTransmitEvict        // eviction retry timer
+)
+
+// OnEvent implements sim.Handler for a core tile.
+func (c *coreNode) OnEvent(op int, addr uint64, arg int64) {
+	switch op {
+	case copSendReq:
+		c.sendReq(addr)
+	case copRetrySend:
+		if c.out != nil && c.out.addr == addr && !c.out.done {
+			c.sendReq(addr)
+		}
+	case copNack:
+		c.onNack(addr)
+	case copGrant:
+		st, dataMode, wantAcks, notify := unpk(arg)
+		c.onGrant(addr, privState(st), int(dataMode), int(wantAcks), notify != 0)
+	case copOwnerData:
+		st, _, _, _ := unpk(arg)
+		c.onOwnerData(addr, privState(st))
+	case copInvAck:
+		withData, _, _, _ := unpk(arg)
+		c.onInvAck(addr, withData != 0)
+	case copFwd:
+		kind, requester, bank, _ := unpk(arg)
+		c.onFwd(addr, proto.ReqKind(kind), int(requester), int(bank))
+	case copInv:
+		ackTo, ackBank, withData, _ := unpk(arg)
+		c.onInv(addr, int(ackTo), int(ackBank), withData != 0)
+	case copEvictAck:
+		c.onEvictAck(addr)
+	case copEvictNack:
+		c.onEvictNack(addr)
+	case copTransmitEvict:
+		c.transmitEvict(addr)
+	default:
+		panic(fmt.Sprintf("core %d: unknown event op %d", c.id, op))
+	}
+}
+
+// Bank ops (bankNode.OnEvent).
+const (
+	bopHandleReq     = iota // demand request arrival: arg = (kind, core)
+	bopDispatch             // tag/data latency elapsed; txn fields carry the rest
+	bopRelease              // busy release after a two-hop commit
+	bopBusyClear            // three-hop completion: arg = (retained, dirty)
+	bopComplete             // requester-completion notification
+	bopBackInvAck           // back-invalidation acknowledgement
+	bopWbData               // dirty data retrieved by a back-invalidation
+	bopHandleEvict          // eviction notice arrival: arg = (kind, core)
+	bopFwdMiss              // forward found no copy: arg = (kind, requester, missedAt)
+	bopMemReadArrive        // fetch request reached the memory tile
+	bopMemReadData          // DRAM read complete; data departs for the bank
+	bopMemFetchDone         // fetched block arrived back at the bank
+)
+
+// OnEvent implements sim.Handler for an LLC bank.
+func (b *bankNode) OnEvent(op int, addr uint64, arg int64) {
+	switch op {
+	case bopHandleReq:
+		kind, core, _, _ := unpk(arg)
+		b.handleReq(addr, proto.ReqKind(kind), int(core))
+	case bopDispatch:
+		t, _ := b.busy.Get(addr)
+		if t == nil {
+			panic(fmt.Sprintf("bank %d: dispatch for idle block %#x", b.id, addr))
+		}
+		b.dispatch(addr, t.kind, t.requester, t.view)
+	case bopRelease:
+		b.busy.Delete(addr)
+	case bopBusyClear:
+		retained, dirty, _, _ := unpk(arg)
+		b.onBusyClear(addr, retained != 0, dirty != 0)
+	case bopComplete:
+		b.onComplete(addr)
+	case bopBackInvAck:
+		b.onBackInvAck(addr)
+	case bopWbData:
+		b.onWbData(addr)
+	case bopHandleEvict:
+		kind, core, _, _ := unpk(arg)
+		b.handleEvict(addr, proto.ReqKind(kind), int(core))
+	case bopFwdMiss:
+		kind, requester, missedAt, _ := unpk(arg)
+		b.onFwdMiss(addr, proto.ReqKind(kind), int(requester), int(missedAt))
+	case bopMemReadArrive:
+		b.sys.mem.ReadEvent(addr, b, bopMemReadData, 0)
+	case bopMemReadData:
+		b.sys.net.SendEvent(b.sys.memTile(addr), b.id, mesh.DataBytes, mesh.Processor, b, bopMemFetchDone, addr, 0)
+	case bopMemFetchDone:
+		b.memFetchDone(addr)
+	default:
+		panic(fmt.Sprintf("bank %d: unknown event op %d", b.id, op))
+	}
+}

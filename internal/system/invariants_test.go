@@ -42,6 +42,11 @@ type goldenChecker struct {
 
 	retires    uint64
 	lengthened uint64
+
+	// allowUncorruptedLengthened relaxes the corrupted-shared check for
+	// tests that force the three-hop path on schemes whose LLC lines are
+	// never corrupted (the phantom-sharer replay below).
+	allowUncorruptedLengthened bool
 }
 
 func newGoldenChecker() *goldenChecker {
@@ -104,7 +109,7 @@ func (g *goldenChecker) Invalidate(core int, addr uint64) {
 
 func (g *goldenChecker) Lengthened(addr uint64, corrupted bool) {
 	g.lengthened++
-	if !corrupted {
+	if !corrupted && !g.allowUncorruptedLengthened {
 		g.failf("lengthened access charged to %#x but the LLC line is not corrupted-shared", addr)
 	}
 }
@@ -199,6 +204,73 @@ func TestProtocolInvariants(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// threeHopShared wraps a tracker and forces every read of a Shared block
+// onto the three-hop elected-sharer path (SupplyFromLLC=false), modeling
+// the paper's §I-A composition of in-LLC state corruption with a lossy
+// sharer format. Over a limited-pointer directory whose overflow inflates
+// sharer sets, elections land on phantom sharers that hold no copy, so the
+// forward comes back empty and the bank must restart the transaction
+// (onFwdMiss) with the phantom excluded from re-election.
+type threeHopShared struct{ proto.Tracker }
+
+func (t threeHopShared) Begin(addr uint64, kind proto.ReqKind, llcHit bool) proto.View {
+	v := t.Tracker.Begin(addr, kind, llcHit)
+	if v.E.State == proto.Shared {
+		v.SupplyFromLLC = false
+	}
+	return v
+}
+
+// TestPhantomSharerForwardMissRestart replays the contended stress traces
+// against the lossy-format three-hop composition and checks that (a) the
+// phantom-sharer restart path actually fires (FwdMisses accumulate), and
+// (b) the protocol stays correct through every restart: no golden-machine
+// violations, no end-state incoherence, every core retires its full trace
+// (the fwdExcl shrink guarantees termination via the memory fallback).
+func TestPhantomSharerForwardMissRestart(t *testing.T) {
+	coreCounts := []int{16, 32}
+	seeds := []int64{11, 23}
+	if testing.Short() {
+		coreCounts = []int{16}
+		seeds = seeds[:1]
+	}
+	var fwdMisses uint64
+	for _, cores := range coreCounts {
+		for _, seed := range seeds {
+			name := fmt.Sprintf("%dcores/seed%d", cores, seed)
+			t.Run(name, func(t *testing.T) {
+				cfg := TestConfig(cores)
+				cfg.L1Sets, cfg.L1Ways = 4, 2
+				cfg.L2Sets, cfg.L2Ways = 8, 2
+				cfg.NewTracker = func(int) proto.Tracker {
+					return threeHopShared{dir.NewSparseWithFormat(8, dir.LimitedPtr{K: 2})}
+				}
+				g := newGoldenChecker()
+				g.allowUncorruptedLengthened = true
+				cfg.Observer = g
+				refs := 900
+				blocks := 12 * cores
+				sys := New(cfg, randomTraces(seed, cores, refs, blocks, 0.3))
+				m := sys.Run(1_000_000_000)
+				if g.retires != uint64(cores*refs) {
+					t.Fatalf("golden machine saw %d retirements, want %d", g.retires, cores*refs)
+				}
+				if len(g.violations) > 0 {
+					t.Fatalf("%d golden-machine violations, first: %s",
+						len(g.violations), g.violations[0])
+				}
+				if bad := sys.CheckCoherence(false); len(bad) > 0 {
+					t.Fatalf("%d end-state violations, first: %s", len(bad), bad[0])
+				}
+				fwdMisses += m.FwdMisses
+			})
+		}
+	}
+	if fwdMisses == 0 {
+		t.Fatal("no forward misses across the replay: phantom restart path not exercised")
 	}
 }
 

@@ -9,20 +9,20 @@ type Metrics struct {
 
 	L1Hits, L2Hits, PrivateMisses uint64
 
-	LLCAccesses, LLCMisses  uint64
-	LLCFills, LLCEvictions  uint64
-	LLCTagReads             uint64
-	LLCDataReads            uint64
-	LLCDataWrites           uint64
-	LLCStateWrites          uint64 // data-array writes for in-LLC coherence state
+	LLCAccesses, LLCMisses uint64
+	LLCFills, LLCEvictions uint64
+	LLCTagReads            uint64
+	LLCDataReads           uint64
+	LLCDataWrites          uint64
+	LLCStateWrites         uint64 // data-array writes for in-LLC coherence state
 
 	Nacks, Retries, Forwards uint64
 	// FwdMisses counts forwards that found no copy (stale oracle views
 	// racing eviction acknowledgements) and restarted their transaction.
-	FwdMisses uint64
-	BackInvals, Broadcasts   uint64
-	ReconMsgs                uint64
-	MemReads                 uint64
+	FwdMisses              uint64
+	BackInvals, Broadcasts uint64
+	ReconMsgs              uint64
+	MemReads               uint64
 
 	// LengthenedCode/Data count LLC accesses whose critical path grew to
 	// three hops versus the 2x baseline (Figs. 6/14/15).

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"sort"
 
 	"tinydir/internal/bitvec"
 	"tinydir/internal/cache"
@@ -26,8 +27,8 @@ type System struct {
 
 	obs Observer
 
-	running  int
-	metrics  Metrics
+	running int
+	metrics Metrics
 }
 
 // New builds a system and loads the per-core traces.
@@ -167,7 +168,14 @@ func (s *System) CheckCoherence(allowUntrackedPrivate bool) []string {
 			}
 		})
 	}
-	for addr, hi := range actual {
+	// Walk blocks in sorted order so the violation report (and the tests
+	// pinning it) never depends on map iteration order.
+	for _, addr := range sortedAddrs(len(actual), func(fn func(uint64)) {
+		for a := range actual {
+			fn(a)
+		}
+	}) {
+		hi := actual[addr]
 		if len(hi.owners) > 1 {
 			bad = append(bad, sprintf("block %#x has %d exclusive owners", addr, len(hi.owners)))
 			continue
@@ -223,7 +231,12 @@ func (s *System) CheckExactSharers() []string {
 			actual[l.Addr][c.id] = true
 		})
 	}
-	for addr, holders := range actual {
+	for _, addr := range sortedAddrs(len(actual), func(fn func(uint64)) {
+		for a := range actual {
+			fn(a)
+		}
+	}) {
+		holders := actual[addr]
 		e, ok := s.bankOf(addr).tracker.Lookup(addr)
 		if !ok || e.State != proto.Shared {
 			continue // ownership exactness is CheckCoherence's job
@@ -259,16 +272,28 @@ func (s *System) DumpStall() string {
 			add(" out{addr %#x %v grant=%v acks %d/%d data=%v mode=%d done=%v}",
 				o.addr, o.kind, o.hasGrant, o.acks, o.wantAcks, o.hasData, o.dataMode, o.done)
 		}
-		if len(c.evictBuf) > 0 {
-			add(" evictBuf %d", len(c.evictBuf))
+		if c.evictBuf.Len() > 0 {
+			add(" evictBuf %d", c.evictBuf.Len())
 		}
 		add("\n")
 	}
 	for _, bk := range s.banks {
-		for addr, t := range bk.busy {
+		for _, addr := range sortedAddrs(bk.busy.Len(), func(fn func(uint64)) {
+			bk.busy.ForEach(func(a uint64, _ *txn) { fn(a) })
+		}) {
+			t, _ := bk.busy.Get(addr)
 			add("bank %d busy %#x kind=%v req=%d backInvalAcks=%d\n",
 				bk.id, addr, t.kind, t.requester, t.backInvalAcks)
 		}
 	}
 	return string(b)
+}
+
+// sortedAddrs collects addresses from an arbitrary-order walk and returns
+// them ascending, making reports deterministic.
+func sortedAddrs(n int, walk func(fn func(uint64))) []uint64 {
+	addrs := make([]uint64, 0, n)
+	walk(func(a uint64) { addrs = append(addrs, a) })
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
 }
