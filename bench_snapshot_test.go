@@ -1,0 +1,165 @@
+package tinydir
+
+// The snapshot benchmark measures what the run store buys: the wall-clock
+// of a Fig. 1 sweep on a cold store (full simulations, checkpoints written
+// as a side effect), on a warm store with only checkpoints (every run
+// fast-forwards over its warmup), and on a warm store with results
+// (-resume semantics: no simulation at all). The cold and warm sweeps must
+// render byte-identical CSV — speed is only interesting if replay is
+// exact.
+//
+//	go test -run TestSnapshotBenchJSON -snapshot.json BENCH_snapshot.json .
+//
+// regenerates the checked-in BENCH_snapshot.json. Wall-clock numbers
+// reflect the recording machine; the cold/warm byte-equality holds
+// everywhere.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var snapshotJSONPath = flag.String("snapshot.json", "", "write snapshot/run-store measurements to this file (see BENCH_snapshot.json)")
+
+// snapSweepCSV runs the Fig. 1 sweep against store and returns the
+// rendered CSV, the number of simulations executed, and the wall-clock.
+func snapSweepCSV(t *testing.T, store *RunStore, resume bool) ([]byte, int, time.Duration) {
+	t.Helper()
+	s := NewSuite(hotScale128)
+	s.Store = store
+	s.Resume = resume
+	start := time.Now()
+	f := s.Fig1()
+	wall := time.Since(start)
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), s.Runs(), wall
+}
+
+// TestSnapshotBenchJSON regenerates BENCH_snapshot.json when
+// -snapshot.json is set; otherwise it is skipped.
+func TestSnapshotBenchJSON(t *testing.T) {
+	if *snapshotJSONPath == "" {
+		t.Skip("pass -snapshot.json <path> to write snapshot measurements")
+	}
+	dir := t.TempDir()
+	store, err := NewRunStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldCSV, coldRuns, coldWall := snapSweepCSV(t, store, false)
+
+	// Keep the checkpoints, drop the results: the warm sweep must simulate,
+	// but only the post-warmup region of each run.
+	if err := os.RemoveAll(filepath.Join(dir, "results")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	warmCSV, warmRuns, warmWall := snapSweepCSV(t, store, false)
+	if !bytes.Equal(coldCSV, warmCSV) {
+		t.Fatal("warm (checkpoint fast-forwarded) sweep rendered different CSV than the cold sweep")
+	}
+
+	// Results are back on disk now; -resume serves them without simulating.
+	resumeCSV, _, resumeWall := snapSweepCSV(t, store, true)
+	if !bytes.Equal(coldCSV, resumeCSV) {
+		t.Fatal("resumed sweep rendered different CSV than the cold sweep")
+	}
+
+	round := func(v float64, digits int) float64 {
+		p := math.Pow(10, float64(digits))
+		return math.Round(v*p) / p
+	}
+	ms := func(d time.Duration) float64 { return round(float64(d.Microseconds())/1e3, 0) }
+	doc := struct {
+		Comment      string  `json:"comment"`
+		GoVersion    string  `json:"go_version"`
+		Sweep        string  `json:"sweep"`
+		Runs         int     `json:"runs"`
+		ColdMS       float64 `json:"cold_ms"`
+		WarmMS       float64 `json:"warm_ms"`
+		ResumeMS     float64 `json:"resume_ms"`
+		WarmSpeedup  float64 `json:"warm_speedup"`
+		CSVIdentical bool    `json:"csv_identical"`
+	}{
+		Comment: "Fig. 1 sweep (128 cores, 400-ref slices) against the run store. cold = empty " +
+			"store, full simulations; warm = checkpoints only, every run fast-forwards over its " +
+			"warmup; resume = stored results served directly. Regenerate with " +
+			"`go test -run TestSnapshotBenchJSON -snapshot.json BENCH_snapshot.json .`. " +
+			"Wall-clock depends on the machine; csv_identical is asserted, not measured.",
+		GoVersion:    runtime.Version(),
+		Sweep:        fmt.Sprintf("fig1@%s", hotScale128.Name),
+		Runs:         coldRuns,
+		ColdMS:       ms(coldWall),
+		WarmMS:       ms(warmWall),
+		ResumeMS:     ms(resumeWall),
+		WarmSpeedup:  round(float64(coldWall)/float64(warmWall), 2),
+		CSVIdentical: true,
+	}
+	if warmRuns != coldRuns {
+		t.Fatalf("warm sweep executed %d runs, cold %d", warmRuns, coldRuns)
+	}
+	t.Logf("cold %.0f ms, warm %.0f ms (%.2fx), resume %.0f ms over %d runs",
+		doc.ColdMS, doc.WarmMS, doc.WarmSpeedup, doc.ResumeMS, doc.Runs)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*snapshotJSONPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *snapshotJSONPath)
+}
+
+// TestSuiteStoreSweepIdentical is the unflagged, fast version of the bench
+// assertion: a small figure sweep through a store (cold, then warm from
+// checkpoints, then resumed from results) renders byte-identical CSV to a
+// storeless sweep.
+func TestSuiteStoreSweepIdentical(t *testing.T) {
+	scale := Scale{Name: "storesweep", Cores: 16, Refs: 300}
+	render := func(store *RunStore, resume bool) []byte {
+		s := NewSuite(scale)
+		s.Workers = 2
+		s.Store = store
+		s.Resume = resume
+		var buf bytes.Buffer
+		if err := s.Fig1().WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(nil, false)
+	dir := t.TempDir()
+	store, err := NewRunStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(store, false); !bytes.Equal(got, want) {
+		t.Error("cold store-backed sweep CSV differs from storeless sweep")
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "results")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := render(store, false); !bytes.Equal(got, want) {
+		t.Error("warm (fast-forwarded) sweep CSV differs from storeless sweep")
+	}
+	if got := render(store, true); !bytes.Equal(got, want) {
+		t.Error("resumed sweep CSV differs from storeless sweep")
+	}
+}

@@ -7,6 +7,8 @@
 //	experiments -fig 10         # one figure
 //	experiments -scale full     # the 128-core machine (slow)
 //	experiments -j 1            # serial fallback (default: all CPUs)
+//	experiments -cache-dir runs          # persist results + warmup checkpoints
+//	experiments -cache-dir runs -resume  # continue an interrupted sweep
 //	experiments -fig 1 -cpuprofile cpu.pb.gz   # profile the hot path
 //
 // Each simulation is independent, so the suite runs them on a worker
@@ -33,10 +35,17 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jobs       = flag.Int("j", runtime.NumCPU(), "max simulations run concurrently (1 = serial)")
+		cacheDir   = flag.String("cache-dir", "", "persist per-run results and warmup checkpoints in this directory")
+		resume     = flag.Bool("resume", false, "serve results already present in -cache-dir instead of re-simulating")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -cache-dir")
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -81,6 +90,15 @@ func main() {
 	}
 	suite := tinydir.NewSuite(sc)
 	suite.Workers = *jobs
+	if *cacheDir != "" {
+		store, err := tinydir.NewRunStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		suite.Store = store
+		suite.Resume = *resume
+	}
 	if !*quiet {
 		suite.Progress = os.Stderr
 	}

@@ -102,6 +102,12 @@ type Suite struct {
 	// Workers bounds concurrent simulations during prefetch; <= 1 runs
 	// strictly serially. NewSuite defaults it to runtime.NumCPU().
 	Workers int
+	// Store, when set, persists every run's result and warmup checkpoint
+	// on disk (see RunStore); with Resume also set, results already in
+	// the store are served without simulating, making an interrupted
+	// sweep resumable.
+	Store  *RunStore
+	Resume bool
 
 	sh *suiteShared
 }
@@ -111,6 +117,7 @@ type Suite struct {
 type suiteShared struct {
 	mu       sync.Mutex
 	cache    map[string]Result
+	runs     int // simulations actually executed (store-served results excluded)
 	planning bool
 	planned  map[string]bool
 	plan     []plannedRun
@@ -134,7 +141,8 @@ func NewSuite(scale Scale) *Suite {
 // derived returns a sub-suite at another scale sharing this suite's cache,
 // prefetch plan and worker budget.
 func (s *Suite) derived(scale Scale) *Suite {
-	return &Suite{Scale: scale, Progress: s.Progress, Workers: s.Workers, sh: s.sh}
+	return &Suite{Scale: scale, Progress: s.Progress, Workers: s.Workers,
+		Store: s.Store, Resume: s.Resume, sh: s.sh}
 }
 
 func (s *Suite) runKey(app Profile, scheme Scheme) string {
@@ -165,9 +173,12 @@ func (s *Suite) run(app Profile, scheme Scheme) Result {
 	}
 	sh.mu.Unlock()
 	s.progressf("  running %-14s %s\n", app.Name, scheme)
-	r := Run(Options{App: app, Scheme: scheme, Scale: s.Scale})
+	r, simulated := runWithStore(Options{App: app, Scheme: scheme, Scale: s.Scale}, s.Store, s.Resume)
 	sh.mu.Lock()
 	sh.cache[key] = r
+	if simulated {
+		sh.runs++
+	}
 	sh.mu.Unlock()
 	return r
 }
@@ -225,9 +236,12 @@ func (s *Suite) prefetch(plan []plannedRun) {
 				}
 				p := plan[i]
 				s.progressf("  running %-14s %s\n", p.opts.App.Name, p.opts.Scheme)
-				r := Run(p.opts)
+				r, simulated := runWithStore(p.opts, s.Store, s.Resume)
 				s.sh.mu.Lock()
 				s.sh.cache[p.key] = r
+				if simulated {
+					s.sh.runs++
+				}
 				s.sh.mu.Unlock()
 			}
 		}()
@@ -235,11 +249,13 @@ func (s *Suite) prefetch(plan []plannedRun) {
 	wg.Wait()
 }
 
-// Runs returns the number of distinct simulations executed so far.
+// Runs returns the number of simulations actually executed so far.
+// Results served from a Store under Resume are not counted — they cost no
+// simulation.
 func (s *Suite) Runs() int {
 	s.sh.mu.Lock()
 	defer s.sh.mu.Unlock()
-	return len(s.sh.cache)
+	return s.sh.runs
 }
 
 // The public figure methods wrap the serial builders below in the

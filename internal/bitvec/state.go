@@ -1,0 +1,14 @@
+package bitvec
+
+// Words exposes the backing word slice for serialization. The caller must
+// not modify it; use FromWords to reconstruct an independent vector.
+func (v Vec) Words() []uint64 { return v.words }
+
+// FromWords builds an n-bit vector from a saved word slice (copying it).
+// Shorter or longer slices are tolerated: missing words read as zero,
+// excess words are dropped.
+func FromWords(n int, words []uint64) Vec {
+	v := New(n)
+	copy(v.words, words)
+	return v
+}

@@ -1,0 +1,79 @@
+package cache
+
+// Serialization of tag arrays for the checkpoint/restore subsystem
+// (internal/snapshot). Geometry (sets, ways, policy, shift) is
+// construction-time configuration and is re-derived by the caller building
+// the machine; only the mutable state — the replacement clock and each
+// line's tag, valid bit, recency stamp, NRU bit, and metadata — is written.
+// A geometry prefix is still recorded so restoring into a differently-sized
+// array fails loudly instead of silently misplacing lines.
+
+import (
+	"fmt"
+
+	"tinydir/internal/snapshot"
+)
+
+// SaveState writes c's mutable state. enc serializes one line's metadata.
+func SaveState[T any](w *snapshot.Writer, c *Cache[T], enc func(*snapshot.Writer, T)) {
+	w.Int(c.sets)
+	w.Int(c.ways)
+	w.U64(c.clock)
+	for i := range c.lines {
+		saveLine(w, &c.lines[i], enc)
+	}
+}
+
+// LoadState restores state previously written by SaveState into c, which
+// must have been constructed with the same geometry.
+func LoadState[T any](r *snapshot.Reader, c *Cache[T], dec func(*snapshot.Reader) T) error {
+	if sets, ways := r.Int(), r.Int(); sets != c.sets || ways != c.ways {
+		return fmt.Errorf("cache: restoring %dx%d state into %dx%d array", sets, ways, c.sets, c.ways)
+	}
+	c.clock = r.U64()
+	for i := range c.lines {
+		loadLine(r, &c.lines[i], dec)
+	}
+	return r.Err()
+}
+
+// SaveSkewedState is SaveState for skewed-associative arrays. The H3 hash
+// functions are seed-derived at construction and are not serialized.
+func SaveSkewedState[T any](w *snapshot.Writer, c *Skewed[T], enc func(*snapshot.Writer, T)) {
+	w.Int(c.sets)
+	w.Int(c.ways)
+	w.U64(c.clock)
+	for i := range c.lines {
+		saveLine(w, &c.lines[i], enc)
+	}
+}
+
+// LoadSkewedState restores state written by SaveSkewedState.
+func LoadSkewedState[T any](r *snapshot.Reader, c *Skewed[T], dec func(*snapshot.Reader) T) error {
+	if sets, ways := r.Int(), r.Int(); sets != c.sets || ways != c.ways {
+		return fmt.Errorf("cache: restoring %dx%d skewed state into %dx%d array", sets, ways, c.sets, c.ways)
+	}
+	c.clock = r.U64()
+	for i := range c.lines {
+		loadLine(r, &c.lines[i], dec)
+	}
+	return r.Err()
+}
+
+func saveLine[T any](w *snapshot.Writer, l *Line[T], enc func(*snapshot.Writer, T)) {
+	w.U64(l.Addr)
+	w.Bool(l.Valid)
+	w.U64(l.stamp)
+	w.Bool(l.ref)
+	enc(w, l.Meta)
+}
+
+// loadLine fills everything except set/way, which are positional and were
+// fixed at construction.
+func loadLine[T any](r *snapshot.Reader, l *Line[T], dec func(*snapshot.Reader) T) {
+	l.Addr = r.U64()
+	l.Valid = r.Bool()
+	l.stamp = r.U64()
+	l.ref = r.Bool()
+	l.Meta = dec(r)
+}

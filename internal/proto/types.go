@@ -12,6 +12,7 @@ import (
 	"tinydir/internal/bitvec"
 	"tinydir/internal/cache"
 	"tinydir/internal/sim"
+	"tinydir/internal/snapshot"
 )
 
 // ReqKind is the kind of message a home bank processes for a block.
@@ -254,4 +255,11 @@ type Tracker interface {
 	Lookup(addr uint64) (Entry, bool)
 	// Metrics adds scheme-specific counters into m (prefix-qualified).
 	Metrics(m map[string]uint64)
+	// SaveState serializes the tracker's complete mutable state
+	// (checkpoint/restore subsystem). State held in LLC line metadata is
+	// serialized by the bank with the LLC, not here.
+	SaveState(w *snapshot.Writer)
+	// LoadState restores state written by SaveState into a tracker that
+	// was constructed with the identical configuration.
+	LoadState(r *snapshot.Reader) error
 }

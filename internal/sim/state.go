@@ -1,0 +1,44 @@
+package sim
+
+import "fmt"
+
+// EventState is one pending event in serializable form. The Handler is kept
+// as an interface value: the caller (internal/system) owns the mapping
+// between handlers and stable ids, since only it knows every component.
+type EventState struct {
+	At   Time
+	Seq  uint64
+	Op   int
+	Addr uint64
+	Arg  int64
+	H    Handler
+}
+
+// SaveState captures the engine's complete state: current time, sequence
+// counter, executed-event count, and the pending queue in heap-array order
+// (a valid heap layout, so RestoreState reproduces the exact pop order).
+// Closure events (At/After) cannot be serialized and make SaveState fail;
+// the simulated system schedules exclusively through the pooled
+// handler path, so this only trips on legacy test/tool schedules.
+func (e *Engine) SaveState() (now Time, seq, nexec uint64, events []EventState, err error) {
+	events = make([]EventState, len(e.queue))
+	for i := range e.queue {
+		ev := &e.queue[i]
+		if ev.fn != nil {
+			return 0, 0, 0, nil, fmt.Errorf("sim: pending closure event (seq %d at t=%d) is not serializable", ev.seq, ev.at)
+		}
+		events[i] = EventState{At: ev.at, Seq: ev.seq, Op: ev.op, Addr: ev.addr, Arg: ev.arg, H: ev.h}
+	}
+	return e.now, e.seq, e.nexec, events, nil
+}
+
+// RestoreState overwrites the engine with a previously saved state. events
+// must be in the order SaveState produced (heap-array order).
+func (e *Engine) RestoreState(now Time, seq, nexec uint64, events []EventState) {
+	e.now, e.seq, e.nexec = now, seq, nexec
+	e.halted = false
+	e.queue = make([]event, len(events))
+	for i, ev := range events {
+		e.queue[i] = event{at: ev.At, seq: ev.Seq, h: ev.H, op: ev.Op, addr: ev.Addr, arg: ev.Arg}
+	}
+}

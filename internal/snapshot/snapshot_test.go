@@ -1,0 +1,193 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func digest(b byte) (d [32]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(FormatVersion, digest(0xAB))
+	w.Section(1)
+	w.U64(0)
+	w.U64(1<<64 - 1)
+	w.I64(-12345)
+	w.Int(42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Section(7)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("tiny directory")
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.Version() != FormatVersion {
+		t.Errorf("Version = %d, want %d", r.Version(), FormatVersion)
+	}
+	if r.Digest() != digest(0xAB) {
+		t.Errorf("Digest mismatch")
+	}
+	r.Section(1)
+	if got := r.U64(); got != 0 {
+		t.Errorf("U64 = %d, want 0", got)
+	}
+	if got := r.U64(); got != 1<<64-1 {
+		t.Errorf("U64 = %d, want max", got)
+	}
+	if got := r.I64(); got != -12345 {
+		t.Errorf("I64 = %d, want -12345", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("Int = %d, want 42", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool sequence wrong")
+	}
+	r.Section(7)
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.String(); got != "tiny directory" {
+		t.Errorf("String = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	w := NewWriter(FormatVersion, digest(0))
+	w.Section(1)
+	w.U64(123456)
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	data := buf.Bytes()
+	// Flip one payload bit.
+	data[len(data)/2] ^= 0x40
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Fatalf("corrupted snapshot accepted")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption error = %v, want checksum mismatch", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	w := NewWriter(FormatVersion, digest(0))
+	w.Section(1)
+	w.String("payload payload payload")
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{0, 3, len(data) / 2, len(data) - 1} {
+		if _, err := NewReader(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	w := NewWriter(FormatVersion+1, digest(0))
+	w.Section(1)
+	w.U64(1)
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if _, err := NewReader(&buf); err == nil {
+		t.Fatalf("future-version snapshot accepted")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version error = %v", err)
+	}
+}
+
+func TestSectionOrderEnforced(t *testing.T) {
+	w := NewWriter(FormatVersion, digest(0))
+	w.Section(1)
+	w.U64(1)
+	w.Section(2)
+	w.U64(2)
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.Section(2) // out of order
+	if r.Err() == nil {
+		t.Fatalf("out-of-order section accepted")
+	}
+}
+
+func TestUnreadBytesDetected(t *testing.T) {
+	w := NewWriter(FormatVersion, digest(0))
+	w.Section(1)
+	w.U64(1)
+	w.U64(2)
+	w.Section(2)
+	w.U64(3)
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.Section(1)
+	_ = r.U64() // leave one value unread
+	r.Section(2)
+	if r.Err() == nil {
+		t.Fatalf("unread section bytes not detected")
+	}
+}
+
+func TestShortReadSticky(t *testing.T) {
+	w := NewWriter(FormatVersion, digest(0))
+	w.Section(1)
+	w.U64(9)
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.Section(1)
+	_ = r.U64()
+	_ = r.U64() // past the end
+	if r.Err() == nil {
+		t.Fatalf("short read not detected")
+	}
+}
+
+func TestPutBeforeSectionFails(t *testing.T) {
+	w := NewWriter(FormatVersion, digest(0))
+	w.U64(1)
+	if w.Err() == nil {
+		t.Fatalf("put before Section accepted")
+	}
+	var buf bytes.Buffer
+	if err := w.Finish(&buf); err == nil {
+		t.Fatalf("Finish succeeded on failed writer")
+	}
+}

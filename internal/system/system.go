@@ -110,11 +110,38 @@ func (s *System) coreFinished() {
 // Run executes the simulation to completion and returns the metrics.
 // maxEvents bounds runaway simulations (0 = unlimited).
 func (s *System) Run(maxEvents uint64) Metrics {
+	s.Start()
+	return s.Complete(maxEvents)
+}
+
+// Start issues each core's first reference. It must be called exactly once,
+// before RunEvents/Complete — except on a Restore'd system, where the saved
+// state already includes the started cores.
+func (s *System) Start() {
 	s.running = s.cfg.Cores
 	for _, c := range s.cores {
 		c.step()
 	}
-	s.eng.Run(maxEvents)
+}
+
+// RunEvents drives the engine for at most n events (n must be > 0) and
+// returns the number executed. It leaves the machine in a consistent
+// between-events state, suitable for Save.
+func (s *System) RunEvents(n uint64) uint64 {
+	return s.eng.Run(n)
+}
+
+// Complete runs the remaining events until the simulation drains, then
+// harvests and returns the metrics. maxEvents is the same total budget Run
+// accepts (0 = unlimited) and counts events already executed via RunEvents
+// or replayed through Restore, so Start+RunEvents(k)+Complete(m) and
+// Restore+Complete(m) both execute exactly the events Run(m) would.
+func (s *System) Complete(maxEvents uint64) Metrics {
+	if maxEvents == 0 {
+		s.eng.Run(0)
+	} else if done := s.eng.Executed(); done < maxEvents {
+		s.eng.Run(maxEvents - done)
+	}
 	if s.running > 0 {
 		panic("system: simulation ended with unfinished cores (deadlock?)")
 	}

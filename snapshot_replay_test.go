@@ -1,0 +1,127 @@
+package tinydir
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tinydir/internal/system"
+	"tinydir/internal/trace"
+)
+
+// buildSystem constructs the exact machine Run would simulate for o.
+func buildSystem(o Options) *system.System {
+	o = normalizeOptions(o)
+	cfg := o.Scale.machine()
+	cfg.NewTracker = o.Scheme.newTracker(cfg)
+	gen := trace.NewGen(o.App, cfg.Cores)
+	return system.New(cfg, gen.Traces(o.Scale.Refs))
+}
+
+// TestSnapshotRoundTripReplay is the tentpole acceptance test: for sparse,
+// tiny and stash tracking at 16 and 128 cores, a run interrupted by
+// Save/Restore at several points must reproduce the uninterrupted run's
+// metrics exactly — both through the restored machine and through the
+// machine that was saved (Save must not perturb state).
+func TestSnapshotRoundTripReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay matrix is slow")
+	}
+	schemes := []Scheme{
+		SparseDirectory(2.0),
+		TinyDirectory(1.0/64, true, true),
+		Stash(1.0 / 32),
+	}
+	for _, cores := range []int{16, 128} {
+		scale := Scale{Name: fmt.Sprintf("replay%d", cores), Cores: cores, Refs: 400}
+		for _, scheme := range schemes {
+			o := Options{App: App("barnes"), Scheme: scheme, Scale: scale}
+			t.Run(fmt.Sprintf("%s/%dc", scheme.String(), cores), func(t *testing.T) {
+				want := Run(o).Metrics
+				// Checkpoint very early, mid-run, and after the queue has
+				// drained (the degenerate but legal case).
+				for _, k := range []uint64{1, 5000, 1 << 62} {
+					sys := buildSystem(o)
+					sys.Start()
+					sys.RunEvents(k)
+					var buf bytes.Buffer
+					if err := sys.Save(&buf); err != nil {
+						t.Fatalf("Save at k=%d: %v", k, err)
+					}
+
+					fresh := buildSystem(o)
+					if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+						t.Fatalf("Restore at k=%d: %v", k, err)
+					}
+					got := fresh.Complete(normalizeOptions(o).MaxEvents)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("k=%d: restored run diverged from uninterrupted run:\ngot  %+v\nwant %+v", k, got, want)
+					}
+					gb, _ := json.Marshal(got)
+					wb, _ := json.Marshal(want)
+					if !bytes.Equal(gb, wb) {
+						t.Errorf("k=%d: restored metrics not byte-identical under JSON", k)
+					}
+
+					// The saved machine itself must also finish unperturbed.
+					cont := sys.Complete(normalizeOptions(o).MaxEvents)
+					if !reflect.DeepEqual(cont, want) {
+						t.Errorf("k=%d: saving perturbed the running machine:\ngot  %+v\nwant %+v", k, cont, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotDeterministicBytes: saving the same machine state twice must
+// produce identical bytes (sorted map walks, no wall-clock in the format).
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	o := Options{App: App("ocean_cp"), Scheme: TinyDirectory(1.0/64, true, true),
+		Scale: Scale{Name: "det", Cores: 16, Refs: 300}}
+	sys := buildSystem(o)
+	sys.Start()
+	sys.RunEvents(4000)
+	var a, b bytes.Buffer
+	if err := sys.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two saves of the same state produced different bytes")
+	}
+}
+
+// TestSnapshotRejectsWrongMachine: a snapshot must not restore into a
+// machine with a different configuration or trace.
+func TestSnapshotRejectsWrongMachine(t *testing.T) {
+	base := Options{App: App("barnes"), Scheme: SparseDirectory(2.0),
+		Scale: Scale{Name: "digest", Cores: 16, Refs: 200}}
+	sys := buildSystem(base)
+	sys.Start()
+	sys.RunEvents(2000)
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	others := []Options{
+		{App: App("ocean_cp"), Scheme: base.Scheme, Scale: base.Scale},
+		{App: base.App, Scheme: Stash(1.0 / 32), Scale: base.Scale},
+		{App: base.App, Scheme: base.Scheme, Scale: Scale{Name: "digest", Cores: 16, Refs: 201}},
+	}
+	for i, o := range others {
+		fresh := buildSystem(o)
+		if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("case %d: restore into a different machine unexpectedly succeeded", i)
+		}
+	}
+	// Sanity: the matching machine does accept it.
+	fresh := buildSystem(base)
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("restore into the identical machine failed: %v", err)
+	}
+}

@@ -1,0 +1,255 @@
+package tinydir
+
+// Persistent content-addressed run store. Each simulation is addressed by a
+// key derived from everything that determines its outcome: the normalized
+// Options (application profile, scheme, scale, event budget) plus the store
+// and snapshot format versions, so a code change that alters either layout
+// invalidates old artifacts instead of mixing with them.
+//
+// The store holds two artifact kinds under its root:
+//
+//	results/<key>.json      — the finished Result (resumable sweeps)
+//	checkpoints/<key>.snap  — a machine snapshot taken at the fixed warmup
+//	                          boundary (fast-forward on re-runs)
+//
+// Writes are atomic (temp file + rename) so a killed sweep never leaves a
+// truncated artifact behind, and PutResult refuses to overwrite an existing
+// result with different bytes — a key collision or a nondeterministic run
+// is a bug worth a loud failure, not a silent cache corruption.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tinydir/internal/snapshot"
+	"tinydir/internal/system"
+	"tinydir/internal/trace"
+)
+
+// storeFormatVersion invalidates stored results when the Result layout or
+// the simulation's observable behavior changes incompatibly.
+const storeFormatVersion = 1
+
+// RunStore is a directory-backed cache of simulation results and warmup
+// checkpoints. The zero value is not usable; construct with NewRunStore.
+// Methods are safe for concurrent use by independent runs (distinct keys);
+// concurrent writers of the same key settle on one winner via rename.
+type RunStore struct {
+	root string
+}
+
+// NewRunStore opens (creating if needed) a run store rooted at dir.
+func NewRunStore(dir string) (*RunStore, error) {
+	for _, sub := range []string{"results", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+	}
+	return &RunStore{root: dir}, nil
+}
+
+// normalizeOptions applies Run's defaulting rules so that every spelling of
+// the same simulation maps to the same store key.
+func normalizeOptions(o Options) Options {
+	if o.Scale.Cores == 0 {
+		o.Scale = ScaleExperiment
+	}
+	if o.Scheme.Kind == KindTiny && o.Scheme.SpillWindow == 0 && o.Scale.Refs < 50000 {
+		// Mirrors Run: the paper's 8K-access observation window assumes
+		// billions of instructions; scale it with short test traces.
+		o.Scheme.SpillWindow = 512
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 4_000_000_000
+	}
+	return o
+}
+
+// Key returns the content address of o's simulation: a hex sha256 over the
+// normalized options and the artifact format versions.
+func (s *RunStore) Key(o Options) string {
+	o = normalizeOptions(o)
+	h := sha256.New()
+	fmt.Fprintf(h, "store=%d snap=%d\n", storeFormatVersion, snapshot.FormatVersion)
+	fmt.Fprintf(h, "app=%+v\n", o.App)
+	fmt.Fprintf(h, "scheme kind=%d ratio=%g gnru=%v spill=%v window=%d genlen=%d format=%q\n",
+		o.Scheme.Kind, o.Scheme.Ratio, o.Scheme.GNRU, o.Scheme.Spill,
+		o.Scheme.SpillWindow, o.Scheme.FixedGenLen, o.Scheme.EntryFormat)
+	fmt.Fprintf(h, "scale name=%s cores=%d refs=%d halved=%v\n",
+		o.Scale.Name, o.Scale.Cores, o.Scale.Refs, o.Scale.HalveHierarchy)
+	fmt.Fprintf(h, "maxevents=%d\n", o.MaxEvents)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *RunStore) resultPath(key string) string {
+	return filepath.Join(s.root, "results", key+".json")
+}
+
+func (s *RunStore) checkpointPath(key string) string {
+	return filepath.Join(s.root, "checkpoints", key+".snap")
+}
+
+// GetResult returns the stored result for key, if present.
+func (s *RunStore) GetResult(key string) (Result, bool, error) {
+	b, err := os.ReadFile(s.resultPath(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return Result{}, false, nil
+	}
+	if err != nil {
+		return Result{}, false, fmt.Errorf("runstore: %w", err)
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Result{}, false, fmt.Errorf("runstore: corrupt result %s: %w", key, err)
+	}
+	return r, true, nil
+}
+
+// PutResult stores r under key. If the key already holds a result, the
+// bytes must match exactly: a mismatch means a key collision or a
+// nondeterministic simulation, and fails loudly rather than papering over
+// it.
+func (s *RunStore) PutResult(key string, r Result) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	data = append(data, '\n')
+	path := s.resultPath(key)
+	if old, err := os.ReadFile(path); err == nil {
+		if !bytes.Equal(old, data) {
+			return fmt.Errorf("runstore: refusing to overwrite %s: stored result differs from the new run (key collision or nondeterministic simulation)", key)
+		}
+		return nil
+	}
+	return writeFileAtomic(path, data)
+}
+
+// readCheckpoint returns the warmup snapshot for key, if present. A missing
+// or unreadable checkpoint is simply a cold start.
+func (s *RunStore) readCheckpoint(key string) ([]byte, bool) {
+	b, err := os.ReadFile(s.checkpointPath(key))
+	if err != nil || len(b) == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// writeCheckpoint stores a warmup snapshot for key. Checkpoints are a pure
+// optimization, so failures are returned for the caller to ignore.
+func (s *RunStore) writeCheckpoint(key string, data []byte) error {
+	return writeFileAtomic(s.checkpointPath(key), data)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("runstore: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}
+
+// warmupEvents is the fixed event count at which a run's warmup checkpoint
+// is taken. It must be a deterministic function of the configuration alone
+// (never of wall-clock or run order) so that cold and warm runs replay the
+// identical event sequence. The value approximates the cache/directory
+// warmup phase; overshooting is harmless — a checkpoint taken after the
+// queue drains restores to the finished machine.
+func warmupEvents(o Options) uint64 {
+	k := 2 * uint64(o.Scale.Cores) * uint64(o.Scale.Refs)
+	if k > o.MaxEvents {
+		k = o.MaxEvents
+	}
+	return k
+}
+
+// RunWithStore executes one configuration like Run, routing artifacts
+// through store (which may be nil, reducing to Run). With resume set, a
+// stored result for the same key is returned without simulating. On a cold
+// run the machine state is checkpointed at the warmup boundary; later runs
+// of the identical configuration restore from that checkpoint and simulate
+// only the remaining events, producing bit-identical results (the replay
+// tests and PutResult's byte-compare both enforce this).
+func RunWithStore(o Options, store *RunStore, resume bool) Result {
+	r, _ := runWithStore(o, store, resume)
+	return r
+}
+
+// runWithStore additionally reports whether it simulated (false when a
+// stored result was served verbatim), so callers can count real work.
+func runWithStore(o Options, store *RunStore, resume bool) (Result, bool) {
+	o = normalizeOptions(o)
+	var key string
+	if store != nil {
+		key = store.Key(o)
+		if resume {
+			if r, ok, err := store.GetResult(key); err == nil && ok {
+				return r, false
+			}
+		}
+	}
+
+	build := func() *system.System {
+		cfg := o.Scale.machine()
+		cfg.NewTracker = o.Scheme.newTracker(cfg)
+		gen := trace.NewGen(o.App, cfg.Cores)
+		return system.New(cfg, gen.Traces(o.Scale.Refs))
+	}
+
+	var m Metrics
+	switch {
+	case store == nil:
+		m = build().Run(o.MaxEvents)
+	default:
+		m = runCheckpointed(build, o, store, key)
+	}
+	res := Result{App: o.App.Name, Scheme: o.Scheme.String(), Cores: o.Scale.machine().Cores, Metrics: m}
+	if store != nil {
+		if err := store.PutResult(key, res); err != nil {
+			panic(err)
+		}
+	}
+	return res, true
+}
+
+// runCheckpointed is the store-backed simulation path: restore from the
+// warmup checkpoint when one exists, otherwise run cold and leave one
+// behind.
+func runCheckpointed(build func() *system.System, o Options, store *RunStore, key string) Metrics {
+	if data, ok := store.readCheckpoint(key); ok {
+		sys := build()
+		if err := sys.Restore(bytes.NewReader(data)); err == nil {
+			return sys.Complete(o.MaxEvents)
+		}
+		// Stale or corrupt checkpoint (e.g. the simulator changed under
+		// an old store dir): fall through to a cold run on an untouched
+		// machine and refresh it.
+	}
+	sys := build()
+	sys.Start()
+	sys.RunEvents(warmupEvents(o))
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err == nil {
+		store.writeCheckpoint(key, buf.Bytes()) // best-effort: a failure just means a cold start next time
+	}
+	return sys.Complete(o.MaxEvents)
+}

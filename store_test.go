@@ -1,0 +1,162 @@
+package tinydir
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testStore(t *testing.T) *RunStore {
+	t.Helper()
+	s, err := NewRunStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var storeTestOpts = Options{
+	App:    App("barnes"),
+	Scheme: TinyDirectory(1.0/64, true, true),
+	Scale:  Scale{Name: "store", Cores: 16, Refs: 300},
+}
+
+// TestRunStoreColdWarmIdentical: a cold store-backed run, a warm run that
+// restores from the checkpoint it left behind, and a plain Run must all
+// agree exactly.
+func TestRunStoreColdWarmIdentical(t *testing.T) {
+	store := testStore(t)
+	plain := Run(storeTestOpts)
+
+	cold := RunWithStore(storeTestOpts, store, false)
+	if !reflect.DeepEqual(cold, plain) {
+		t.Fatalf("cold store-backed run diverged from Run:\ngot  %+v\nwant %+v", cold, plain)
+	}
+	ck := store.checkpointPath(store.Key(storeTestOpts))
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("cold run left no warmup checkpoint: %v", err)
+	}
+
+	// Drop the result so the warm run must actually simulate, fast-forwarded
+	// from the checkpoint. PutResult then byte-compares against nothing, but
+	// DeepEqual against the plain run is the real oracle.
+	if err := os.Remove(store.resultPath(store.Key(storeTestOpts))); err != nil {
+		t.Fatal(err)
+	}
+	warm := RunWithStore(storeTestOpts, store, false)
+	if !reflect.DeepEqual(warm, plain) {
+		t.Fatalf("warm (checkpoint-restored) run diverged from Run:\ngot  %+v\nwant %+v", warm, plain)
+	}
+}
+
+// TestRunStoreResumeServesStoredResult: with resume set, a stored result is
+// returned as-is without re-simulating.
+func TestRunStoreResumeServesStoredResult(t *testing.T) {
+	store := testStore(t)
+	key := store.Key(storeTestOpts)
+	doctored := Result{App: "doctored", Scheme: "none", Cores: 1}
+	if err := store.PutResult(key, doctored); err != nil {
+		t.Fatal(err)
+	}
+	got := RunWithStore(storeTestOpts, store, true)
+	if !reflect.DeepEqual(got, doctored) {
+		t.Fatalf("resume did not serve the stored result: got %+v", got)
+	}
+	// Without resume the run recomputes — and must then fail loudly because
+	// the stored bytes differ (collision guard).
+	defer func() {
+		if recover() == nil {
+			t.Error("write-through over a differing stored result did not fail loudly")
+		}
+	}()
+	RunWithStore(storeTestOpts, store, false)
+}
+
+// TestRunStoreKeyDistinct: perturbing any single Options field that can
+// change a simulation's outcome must change the store key.
+func TestRunStoreKeyDistinct(t *testing.T) {
+	store := testStore(t)
+	base := Options{
+		App:    App("barnes"),
+		Scheme: Scheme{Kind: KindTiny, Ratio: 1.0 / 64, GNRU: true, Spill: true, SpillWindow: 256, FixedGenLen: 0},
+		Scale:  Scale{Name: "keys", Cores: 16, Refs: 300},
+	}
+	perturbed := map[string]Options{}
+	add := func(name string, mutate func(*Options)) {
+		o := base
+		mutate(&o)
+		perturbed[name] = o
+	}
+	add("app", func(o *Options) { o.App = App("ocean_cp") })
+	add("scheme.kind", func(o *Options) { o.Scheme.Kind = KindSparse })
+	add("scheme.ratio", func(o *Options) { o.Scheme.Ratio = 1.0 / 128 })
+	add("scheme.gnru", func(o *Options) { o.Scheme.GNRU = false })
+	add("scheme.spill", func(o *Options) { o.Scheme.Spill = false })
+	add("scheme.window", func(o *Options) { o.Scheme.SpillWindow = 128 })
+	add("scheme.genlen", func(o *Options) { o.Scheme.FixedGenLen = 4 })
+	add("scheme.format", func(o *Options) { o.Scheme.Kind = KindSparse; o.Scheme.EntryFormat = "ptr4" })
+	add("scale.cores", func(o *Options) { o.Scale.Cores = 32 })
+	add("scale.refs", func(o *Options) { o.Scale.Refs = 301 })
+	add("scale.halved", func(o *Options) { o.Scale.HalveHierarchy = true })
+	add("maxevents", func(o *Options) { o.MaxEvents = 123456 })
+
+	baseKey := store.Key(base)
+	seen := map[string]string{baseKey: "base"}
+	for name, o := range perturbed {
+		k := store.Key(o)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbation %q collides with %q (key %s)", name, prev, k[:12])
+		}
+		seen[k] = name
+	}
+	// Keys are stable across store instances (content-addressed, no state).
+	other := testStore(t)
+	if other.Key(base) != baseKey {
+		t.Error("key differs between store instances")
+	}
+}
+
+// TestRunStoreCollisionGuard: PutResult must refuse to replace an existing
+// result with different bytes, and must accept an identical rewrite.
+func TestRunStoreCollisionGuard(t *testing.T) {
+	store := testStore(t)
+	key := store.Key(storeTestOpts)
+	a := Result{App: "a", Scheme: "s", Cores: 16}
+	if err := store.PutResult(key, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutResult(key, a); err != nil {
+		t.Errorf("idempotent rewrite rejected: %v", err)
+	}
+	b := a
+	b.Metrics.Cycles = 1
+	err := store.PutResult(key, b)
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Errorf("differing rewrite not refused loudly: %v", err)
+	}
+	got, ok, gerr := store.GetResult(key)
+	if gerr != nil || !ok || !reflect.DeepEqual(got, a) {
+		t.Errorf("original result damaged by refused overwrite: %+v ok=%v err=%v", got, ok, gerr)
+	}
+}
+
+// TestRunStoreSurvivesCorruptCheckpoint: a truncated or garbage checkpoint
+// must silently degrade to a cold run, not fail it.
+func TestRunStoreSurvivesCorruptCheckpoint(t *testing.T) {
+	store := testStore(t)
+	key := store.Key(storeTestOpts)
+	if err := os.WriteFile(store.checkpointPath(key), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := RunWithStore(storeTestOpts, store, false)
+	want := Run(storeTestOpts)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("run with corrupt checkpoint diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+	// And the cold run refreshed the checkpoint with a valid one.
+	if fi, err := os.Stat(filepath.Join(store.root, "checkpoints", key+".snap")); err != nil || fi.Size() < 100 {
+		t.Errorf("checkpoint not refreshed after corruption (err=%v)", err)
+	}
+}

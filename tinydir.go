@@ -293,29 +293,11 @@ type Result struct {
 	Metrics Metrics
 }
 
-// Run executes one configuration to completion.
+// Run executes one configuration to completion. Defaulting (scale, spill
+// window, event budget) lives in normalizeOptions so Run and the
+// store-backed RunWithStore agree on what a configuration means.
 func Run(o Options) Result {
-	if o.Scale.Cores == 0 {
-		o.Scale = ScaleExperiment
-	}
-	if o.Scheme.Kind == KindTiny && o.Scheme.SpillWindow == 0 && o.Scale.Refs < 50000 {
-		// The paper's 8K-access observation window assumes billions of
-		// instructions; at short trace lengths it would never complete
-		// and the spill threshold would stay pinned at its most
-		// restrictive setting. Scale the window with the trace length
-		// (roughly trace-length/8 windows per bank, as at full scale).
-		o.Scheme.SpillWindow = 512
-	}
-	cfg := o.Scale.machine()
-	cfg.NewTracker = o.Scheme.newTracker(cfg)
-	gen := trace.NewGen(o.App, cfg.Cores)
-	sys := system.New(cfg, gen.Traces(o.Scale.Refs))
-	maxEvents := o.MaxEvents
-	if maxEvents == 0 {
-		maxEvents = 4_000_000_000
-	}
-	m := sys.Run(maxEvents)
-	return Result{App: o.App.Name, Scheme: o.Scheme.String(), Cores: cfg.Cores, Metrics: m}
+	return RunWithStore(o, nil, false)
 }
 
 // RunAll executes the given configurations on a bounded worker pool and
