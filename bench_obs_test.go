@@ -1,0 +1,98 @@
+package tinydir
+
+// Observability overhead tracking, the companion of bench_hotpath_test.go.
+// Two contracts are measured and recorded in BENCH_obs.json:
+//
+//   - disabled cost: with no recorder attached the hot path must be
+//     unchanged — the nil-checked sinks add one predictable branch, no
+//     allocations (allocs/ref is compared against the same sweep in
+//     BENCH_hotpath.json);
+//   - enabled cost: a Fig. 1 sweep at 128 cores with epoch sampling at the
+//     default interval plus latency histograms must stay within a few
+//     percent of the bare sweep (the acceptance bound is 5%).
+//
+// Regenerate with:
+//
+//	go test -run TestObsOverheadJSON -obs.json BENCH_obs.json .
+//
+// allocs/ref is deterministic; wall and ns/ref reflect the machine.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+)
+
+var obsJSONPath = flag.String("obs.json", "", "write observability overhead measurements to this file (see BENCH_obs.json)")
+
+// obsOverheadCases builds the measured pair: the bare Fig. 1 sweep at 128
+// cores (identical to BENCH_hotpath.json's Fig01At128) and the same sweep
+// with epoch sampling and latency histograms attached.
+func obsOverheadCases() []hotpathCase {
+	sweep := func(cfg ObsConfig) func() uint64 {
+		return func() uint64 {
+			s := NewSuite(hotScale128)
+			s.Obs = cfg
+			f := s.Fig1()
+			if len(f.Series) == 0 {
+				panic("obs overhead: Fig1 produced no data")
+			}
+			return uint64(s.Runs()) * uint64(hotScale128.Cores) * uint64(hotScale128.Refs)
+		}
+	}
+	return []hotpathCase{
+		{"Fig01At128/obs-off", sweep(ObsConfig{})},
+		{"Fig01At128/obs-epochs", sweep(ObsConfig{EpochInterval: DefaultEpochInterval, Latency: true})},
+	}
+}
+
+// TestObsOverheadJSON regenerates BENCH_obs.json when -obs.json is set;
+// otherwise it is skipped. Each sweep runs exactly once.
+func TestObsOverheadJSON(t *testing.T) {
+	if *obsJSONPath == "" {
+		t.Skip("pass -obs.json <path> to write observability overhead measurements")
+	}
+	round := func(v float64, digits int) float64 {
+		p := math.Pow(10, float64(digits))
+		return math.Round(v*p) / p
+	}
+	var ms []hotpathMeasurement
+	for _, c := range obsOverheadCases() {
+		m := measureHotpath(c)
+		m.WallMS = round(m.WallMS, 0)
+		m.NsPerRef = round(m.NsPerRef, 1)
+		m.AllocsPerRef = round(m.AllocsPerRef, 3)
+		m.BytesPerRef = round(m.BytesPerRef, 1)
+		ms = append(ms, m)
+		t.Logf("%s: %.1f ns/ref, %.3f allocs/ref (%d refs in %.0f ms)",
+			m.Name, m.NsPerRef, m.AllocsPerRef, m.Refs, m.WallMS)
+	}
+	slowdown := 100 * (ms[1].NsPerRef - ms[0].NsPerRef) / ms[0].NsPerRef
+	doc := struct {
+		Comment     string               `json:"comment"`
+		GoVersion   string               `json:"go_version"`
+		Sweeps      []hotpathMeasurement `json:"sweeps"`
+		SlowdownPct float64              `json:"epoch_sampling_slowdown_pct"`
+	}{
+		Comment: "Observability overhead on the Fig. 1 sweep at 128 cores. 'obs-off' must match " +
+			"BENCH_hotpath.json's Fig01At128 allocs/ref (nil recorder = one branch, no allocation); " +
+			"'obs-epochs' attaches epoch sampling at the default interval plus latency histograms " +
+			"and must stay within 5% wall. Regenerate with " +
+			"`go test -run TestObsOverheadJSON -obs.json BENCH_obs.json .`.",
+		GoVersion:   runtime.Version(),
+		Sweeps:      ms,
+		SlowdownPct: round(slowdown, 1),
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*obsJSONPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s (epoch sampling slowdown %.1f%%)\n", *obsJSONPath, doc.SlowdownPct)
+}

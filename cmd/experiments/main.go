@@ -11,14 +11,29 @@
 //	experiments -cache-dir runs -resume  # continue an interrupted sweep
 //	experiments -fig 1 -cpuprofile cpu.pb.gz   # profile the hot path
 //
+// The time-resolved observability layer (see DESIGN.md §9) is surfaced
+// through the -obs-* flags:
+//
+//	experiments -fig 1 -obs-dir obs              # epoch CSV + latency histograms per run
+//	experiments -fig 1 -obs-dir obs -obs-epochs 1000 -obs-trace 200000
+//	experiments -watchdog 2000000                # dump stalled machine state to stderr
+//	experiments -http localhost:6060             # live sweep monitor (expvar "sweep") + pprof
+//
+// Observability is pure observation — every figure and stored result is
+// bit-identical with it on or off — but instrumented runs skip warmup
+// checkpoints, so sweeps are slower.
+//
 // Each simulation is independent, so the suite runs them on a worker
 // pool of -j goroutines. Output is bit-identical at any -j: figures are
 // always assembled serially from deterministic per-run results.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -http serves /debug/pprof/ for live sweeps
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,6 +54,11 @@ func main() {
 		resume     = flag.Bool("resume", false, "serve results already present in -cache-dir instead of re-simulating")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		obsDir     = flag.String("obs-dir", "", "write per-run observability artifacts (epoch CSV, latency histograms, trace JSON) to this directory")
+		obsEpochs  = flag.Uint64("obs-epochs", 0, "epoch sampling interval in cycles (0 = off; -obs-dir alone defaults it)")
+		obsTrace   = flag.Int("obs-trace", 0, "max Chrome trace-event spans recorded per run (0 = off; needs -obs-dir)")
+		watchdog   = flag.Uint64("watchdog", 0, "dump machine state when no core retires for this many cycles (0 = off)")
+		httpAddr   = flag.String("http", "", "serve the live sweep monitor (expvar + pprof) on this address")
 	)
 	flag.Parse()
 
@@ -101,6 +121,30 @@ func main() {
 	}
 	if !*quiet {
 		suite.Progress = os.Stderr
+	}
+	obsCfg := tinydir.ObsConfig{
+		EpochInterval:  *obsEpochs,
+		TraceSpans:     *obsTrace,
+		WatchdogWindow: *watchdog,
+		// Latency histograms ride along whenever anything else is on —
+		// they cost a handful of counters per run.
+		Latency: *obsEpochs > 0 || *obsTrace > 0 || *watchdog > 0 || *obsDir != "",
+	}
+	if *obsDir != "" && obsCfg.EpochInterval == 0 {
+		obsCfg.EpochInterval = tinydir.DefaultEpochInterval
+	}
+	suite.Obs = obsCfg
+	suite.ObsDir = *obsDir
+	if *httpAddr != "" {
+		mon := suite.Monitor()
+		expvar.Publish("sweep", expvar.Func(func() interface{} { return mon.Snapshot() }))
+		go func() {
+			// DefaultServeMux already carries expvar's /debug/vars and
+			// pprof's /debug/pprof from their imports.
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: http:", err)
+			}
+		}()
 	}
 	start := time.Now()
 	if strings.EqualFold(*fig, "all") {

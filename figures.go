@@ -108,6 +108,15 @@ type Suite struct {
 	// sweep resumable.
 	Store  *RunStore
 	Resume bool
+	// Obs, when enabled, attaches a fresh observability recorder to every
+	// simulated run; with ObsDir also set, each instrumented run's
+	// artifacts (epoch CSV, latency histogram text, Chrome trace JSON) are
+	// written there. Store-served results produce no artifacts — nothing
+	// was simulated. Recording never changes results (see Options.Obs),
+	// but instrumented runs bypass warmup checkpoints, so sweeps are
+	// slower with Obs on.
+	Obs    ObsConfig
+	ObsDir string
 
 	sh *suiteShared
 }
@@ -121,6 +130,7 @@ type suiteShared struct {
 	planning bool
 	planned  map[string]bool
 	plan     []plannedRun
+	rep      *Reporter // lazily built; all progress output funnels through it
 }
 
 // plannedRun is one simulation a dry figure pass requested.
@@ -142,7 +152,21 @@ func NewSuite(scale Scale) *Suite {
 // prefetch plan and worker budget.
 func (s *Suite) derived(scale Scale) *Suite {
 	return &Suite{Scale: scale, Progress: s.Progress, Workers: s.Workers,
-		Store: s.Store, Resume: s.Resume, sh: s.sh}
+		Store: s.Store, Resume: s.Resume, Obs: s.Obs, ObsDir: s.ObsDir, sh: s.sh}
+}
+
+// Monitor returns the suite's progress reporter, building it on first
+// use. The reporter serializes progress lines across workers and tracks
+// the counters behind its Snapshot — the live sweep monitor's data
+// source. Derived sub-suites share it.
+func (s *Suite) Monitor() *Reporter {
+	sh := s.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.rep == nil {
+		sh.rep = NewReporter(s.Progress)
+	}
+	return sh.rep
 }
 
 func (s *Suite) runKey(app Profile, scheme Scheme) string {
@@ -172,8 +196,7 @@ func (s *Suite) run(app Profile, scheme Scheme) Result {
 		return Result{App: app.Name, Scheme: scheme.String()}
 	}
 	sh.mu.Unlock()
-	s.progressf("  running %-14s %s\n", app.Name, scheme)
-	r, simulated := runWithStore(Options{App: app, Scheme: scheme, Scale: s.Scale}, s.Store, s.Resume)
+	r, simulated := s.executeRun(Options{App: app, Scheme: scheme, Scale: s.Scale})
 	sh.mu.Lock()
 	sh.cache[key] = r
 	if simulated {
@@ -181,15 +204,6 @@ func (s *Suite) run(app Profile, scheme Scheme) Result {
 	}
 	sh.mu.Unlock()
 	return r
-}
-
-func (s *Suite) progressf(format string, args ...interface{}) {
-	if s.Progress == nil {
-		return
-	}
-	s.sh.mu.Lock()
-	fmt.Fprintf(s.Progress, format, args...)
-	s.sh.mu.Unlock()
 }
 
 // figure builds one figure, prefetching the runs it needs in parallel.
@@ -210,6 +224,9 @@ func (s *Suite) figure(build func() Figure) Figure {
 	plan := sh.plan
 	sh.plan, sh.planned, sh.planning = nil, nil, false
 	sh.mu.Unlock()
+	if len(plan) > 0 {
+		s.Monitor().addPlanned(len(plan))
+	}
 	s.prefetch(plan)
 	return build() // real pass: fully cached, identical to the serial path
 }
@@ -235,8 +252,7 @@ func (s *Suite) prefetch(plan []plannedRun) {
 					return
 				}
 				p := plan[i]
-				s.progressf("  running %-14s %s\n", p.opts.App.Name, p.opts.Scheme)
-				r, simulated := runWithStore(p.opts, s.Store, s.Resume)
+				r, simulated := s.executeRun(p.opts)
 				s.sh.mu.Lock()
 				s.sh.cache[p.key] = r
 				if simulated {

@@ -9,7 +9,10 @@
 // served first; otherwise the oldest request is served.
 package dram
 
-import "tinydir/internal/sim"
+import (
+	"tinydir/internal/obs"
+	"tinydir/internal/sim"
+)
 
 // Timing in core cycles at 2 GHz. DDR3-2133 has tCK = 0.9375 ns; CL =
 // tRCD = tRP = 12 DRAM cycles = 11.25 ns = 22.5 core cycles (rounded to
@@ -61,6 +64,11 @@ type Memory struct {
 	eng      *sim.Engine
 	channels []channel
 	stats    Stats
+
+	// Obs, when non-nil, receives one span per scheduled access (lane =
+	// channel, ts = arrival, duration = queueing + service time). Pure
+	// observation: timing is identical with or without it.
+	Obs *obs.TraceWriter
 }
 
 // New creates a memory system with nChannels controllers.
@@ -186,6 +194,13 @@ func (m *Memory) kick(ch int) {
 	b.openRow = row
 	b.freeAt = finish
 	c.busFree = finish
+	if m.Obs != nil {
+		name := "read"
+		if r.isWrite {
+			name = "write"
+		}
+		m.Obs.Add(obs.CatDRAM, name, ch, uint64(r.arrive), uint64(finish-r.arrive), r.blk)
+	}
 	if r.h != nil {
 		m.eng.ScheduleAt(finish, r.h, r.op, r.blk, r.arg)
 	} else if r.done != nil {

@@ -13,6 +13,7 @@ package mesh
 import (
 	"fmt"
 
+	"tinydir/internal/obs"
 	"tinydir/internal/sim"
 )
 
@@ -76,6 +77,11 @@ type Mesh struct {
 	msgs [NumClasses]uint64
 	// contention model can be disabled for pure-latency studies.
 	modelContention bool
+
+	// Obs, when non-nil, receives one trace span per message (lane =
+	// source node, duration = wire time). Pure observation: set or left
+	// nil, timing and accounting are identical.
+	Obs *obs.TraceWriter
 }
 
 // Config configures a Mesh.
@@ -150,6 +156,9 @@ func (m *Mesh) Send(src, dst int, bytes int, class TrafficClass, fn func()) sim.
 		m.portFree[src] = depart + occ
 	}
 	at := depart + sim.Time(d*HopCycles)
+	if m.Obs != nil {
+		m.Obs.Add(obs.CatMesh, class.String(), src, uint64(depart), uint64(d*HopCycles), 0)
+	}
 	m.eng.At(at, fn)
 	return at
 }
@@ -170,6 +179,9 @@ func (m *Mesh) SendEvent(src, dst int, bytes int, class TrafficClass, h sim.Hand
 		m.portFree[src] = depart + occ
 	}
 	at := depart + sim.Time(d*HopCycles)
+	if m.Obs != nil {
+		m.Obs.Add(obs.CatMesh, class.String(), src, uint64(depart), uint64(d*HopCycles), addr)
+	}
 	m.eng.ScheduleAt(at, h, op, addr, arg)
 	return at
 }

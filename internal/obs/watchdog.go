@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"tinydir/internal/sim"
+)
+
+// Watchdog detects retirement stalls: if no core completes a reference for
+// Window cycles, it writes a dump of the in-flight machine state (supplied
+// by the system layer via Dump) plus whatever context the caller wires in.
+// It is driven from the engine's per-event watch hook and rate-limited by
+// an event mask, so an armed watchdog costs one masked compare per
+// simulated event. A stall episode fires exactly once; the next retirement
+// re-arms it.
+type Watchdog struct {
+	Window uint64 // cycles without a retirement before firing
+	Fired  uint64 // stall episodes detected
+
+	// Dump writes the in-flight transaction state when the watchdog
+	// fires. Installed by the system layer (it wraps DumpStall plus the
+	// latency histograms); nil means only the header line is written.
+	Dump func(io.Writer)
+
+	out        io.Writer
+	lastRetire uint64
+	firing     bool
+	mask       uint64 // check cadence: only events where nexec&mask == 0
+}
+
+// watchdogEvery is the check cadence in executed events (a power of two so
+// the rate limit is a single AND). Stalls are detected within Window plus
+// at most this many events' worth of cycles — slack that does not matter
+// for windows in the tens of thousands of cycles.
+const watchdogEvery = 1024
+
+func newWatchdog(window uint64, out io.Writer) *Watchdog {
+	return &Watchdog{Window: window, out: out, mask: watchdogEvery - 1}
+}
+
+// Pet marks a retirement at cycle now, re-arming the watchdog.
+func (w *Watchdog) Pet(now uint64) {
+	w.lastRetire = now
+	w.firing = false
+}
+
+// OnStep is the engine watch hook: called after every executed event with
+// the current cycle and the count of executed events.
+func (w *Watchdog) OnStep(now sim.Time, nexec uint64) {
+	if nexec&w.mask != 0 || w.firing {
+		return
+	}
+	n := uint64(now)
+	if n-w.lastRetire < w.Window {
+		return
+	}
+	w.firing = true
+	w.Fired++
+	fmt.Fprintf(w.out, "obs: watchdog: no retirement for %d cycles (now=%d, last=%d, events=%d)\n",
+		n-w.lastRetire, n, w.lastRetire, nexec)
+	if w.Dump != nil {
+		w.Dump(w.out)
+	}
+}

@@ -52,6 +52,7 @@ type Engine struct {
 	queue  []event
 	nexec  uint64
 	halted bool
+	watch  func(Time, uint64)
 }
 
 // Now returns the current simulation time.
@@ -137,6 +138,13 @@ func (e *Engine) ScheduleAfter(d Time, h Handler, op int, addr uint64, arg int64
 	e.ScheduleAt(e.now+d, h, op, addr, arg)
 }
 
+// SetWatch installs fn to be called after every executed event with the
+// current time and the executed-event count. It exists for observability
+// (the stall watchdog); a nil watch — the default — costs one predictable
+// branch per event. The watch must not schedule events or mutate machine
+// state, and it is not part of the engine's serialized state.
+func (e *Engine) SetWatch(fn func(Time, uint64)) { e.watch = fn }
+
 // Pending reports whether any events remain.
 func (e *Engine) Pending() bool { return len(e.queue) > 0 }
 
@@ -155,6 +163,9 @@ func (e *Engine) Step() bool {
 		ev.h.OnEvent(ev.op, ev.addr, ev.arg)
 	} else {
 		ev.fn()
+	}
+	if e.watch != nil {
+		e.watch(e.now, e.nexec)
 	}
 	return true
 }

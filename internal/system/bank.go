@@ -35,6 +35,10 @@ type txn struct {
 	// empty (phantom sharers); the re-election skips them. Zero until the
 	// first forward-miss.
 	fwdExcl bitvec.Vec
+	// startedAt is the transaction's arrival cycle, recorded for the
+	// observability trace spans only (not serialized; instrumented runs
+	// never restore from a checkpoint).
+	startedAt sim.Time
 }
 
 // bankNode is one LLC bank with its coherence-tracking slice.
@@ -131,7 +135,7 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
 		m.SpillAvoided++
 	}
 
-	t := &txn{kind: kind, requester: c, view: view}
+	t := &txn{kind: kind, requester: c, view: view, startedAt: b.sys.eng.Now()}
 	b.busy.Put(addr, t)
 
 	lat := b.sys.cfg.LLCTagLat + sim.Time(view.ExtraLatency)
@@ -180,7 +184,7 @@ func (b *bankNode) dispatchRead(addr uint64, kind proto.ReqKind, c int, view pro
 		b.supplyFromLLCOrMem(addr, c, grant, next, kind)
 	case proto.Exclusive:
 		// Three-hop: forward to the owner; commit at busy-clear.
-		b.forward(addr, kind, c, e.Owner)
+		b.forward(addr, kind, c, e.Owner, false)
 	case proto.Shared:
 		next := e
 		next.Sharers = e.Sharers.Clone()
@@ -193,7 +197,7 @@ func (b *bankNode) dispatchRead(addr uint64, kind proto.ReqKind, c int, view pro
 			t, _ := b.busy.Get(addr)
 			s := b.electSharer(e.Sharers, c, t.fwdExcl)
 			if s >= 0 {
-				b.forward(addr, kind, c, s)
+				b.forward(addr, kind, c, s, true)
 				return
 			}
 			// The only sharer is the requester itself (racing eviction);
@@ -202,7 +206,7 @@ func (b *bankNode) dispatchRead(addr uint64, kind proto.ReqKind, c int, view pro
 			return
 		}
 		if dl != nil {
-			b.respond(addr, c, psS, 1, 0, false)
+			b.respond(addr, c, psS, 1, 0, false, false)
 			b.commitAndRelease(addr, kind, c, next)
 			return
 		}
@@ -219,7 +223,7 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 		next := proto.Entry{State: proto.Exclusive, Owner: c}
 		b.supplyFromLLCOrMem(addr, c, psM, next, kind)
 	case proto.Exclusive:
-		b.forward(addr, kind, c, e.Owner)
+		b.forward(addr, kind, c, e.Owner, false)
 	case proto.Shared:
 		t, _ := b.busy.Get(addr)
 		needData := kind == proto.GetX || !e.Sharers.Test(c)
@@ -248,7 +252,7 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 			if dataFromLLC {
 				mode = 1
 			}
-			b.respond(addr, c, psM, mode, 0, false)
+			b.respond(addr, c, psM, mode, 0, false, false)
 			b.commitAndRelease(addr, kind, c, t.next)
 			return
 		}
@@ -261,7 +265,7 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 		case needData:
 			mode = 2 // elected sharer's ack carries the block
 		}
-		b.respond(addr, c, psM, mode, nAcks, true)
+		b.respond(addr, c, psM, mode, nAcks, true, false)
 		e.Sharers.ForEach(func(s int) {
 			if s == c {
 				return
@@ -308,7 +312,7 @@ func (b *bankNode) electSharer(sharers bitvec.Vec, not int, excl bitvec.Vec) int
 // supplyFromLLCOrMem answers a request to an unowned block.
 func (b *bankNode) supplyFromLLCOrMem(addr uint64, c int, grant privState, next proto.Entry, kind proto.ReqKind) {
 	if b.dataLine(addr) != nil {
-		b.respond(addr, c, grant, 1, 0, false)
+		b.respond(addr, c, grant, 1, 0, false, false)
 		b.commitAndRelease(addr, kind, c, next)
 		return
 	}
@@ -342,38 +346,44 @@ func (b *bankNode) memFetchDone(addr uint64) {
 	if line := b.fill(addr); line == nil {
 		// Could not allocate an LLC way (every candidate busy): NACK so
 		// the requester retries.
+		b.traceDone(addr, "nack")
 		b.busy.Delete(addr)
 		b.sys.metrics.Nacks++
 		b.sys.net.SendEvent(b.id, t.requester, mesh.CtrlBytes, mesh.Processor,
 			b.sys.cores[t.requester], copNack, addr, 0)
 		return
 	}
-	b.respond(addr, t.requester, t.grant, 1, 0, false)
+	b.respond(addr, t.requester, t.grant, 1, 0, false, true)
 	b.commitAndRelease(addr, t.kind, t.requester, t.next)
 }
 
 // forward sends a three-hop forward to the owner (or elected sharer);
-// the commit happens at busy-clear.
-func (b *bankNode) forward(addr uint64, kind proto.ReqKind, c, owner int) {
+// the commit happens at busy-clear. lengthened marks a corrupted-shared
+// supply so the requester can classify the resulting fill; it rides in an
+// otherwise-unused pack field and changes no timing or traffic.
+func (b *bankNode) forward(addr uint64, kind proto.ReqKind, c, owner int, lengthened bool) {
 	b.sys.metrics.Forwards++
 	b.sys.net.SendEvent(b.id, owner, mesh.CtrlBytes, mesh.Coherence,
-		b.sys.cores[owner], copFwd, addr, pk(int16(kind), int16(c), int16(b.id), 0))
+		b.sys.cores[owner], copFwd, addr, pk(int16(kind), int16(c), int16(b.id), b2i(lengthened)))
 }
 
-// respond sends the home bank's grant to the requester.
-func (b *bankNode) respond(addr uint64, c int, grant privState, dataMode, wantAcks int, notify bool) {
+// respond sends the home bank's grant to the requester. viaMem marks data
+// fetched from DRAM (latency classification only); it shares the fourth
+// pack field with notify.
+func (b *bankNode) respond(addr uint64, c int, grant privState, dataMode, wantAcks int, notify, viaMem bool) {
 	bytes := mesh.CtrlBytes
 	if dataMode == 1 {
 		bytes = mesh.DataBytes
 	}
 	b.sys.net.SendEvent(b.id, c, bytes, mesh.Processor, b.sys.cores[c], copGrant, addr,
-		pk(int16(grant), int16(dataMode), int16(wantAcks), b2i(notify)))
+		pk(int16(grant), int16(dataMode), int16(wantAcks), b2i(notify)|b2i(viaMem)<<1))
 }
 
 // commitAndRelease commits the post-transaction state now and releases
 // the busy marker one cycle after the response lands at the requester
 // (so a forward can never outrun the fill).
 func (b *bankNode) commitAndRelease(addr uint64, kind proto.ReqKind, from int, next proto.Entry) {
+	b.traceDone(addr, "")
 	b.commit(addr, kind, from, next)
 	release := b.sys.net.Latency(b.id, from) + 1
 	b.sys.eng.ScheduleAfter(release, b, bopRelease, addr, 0)
@@ -439,6 +449,7 @@ func (b *bankNode) onBusyClear(addr uint64, retained, copybackDirty bool) {
 	} else {
 		next = proto.Entry{State: proto.Exclusive, Owner: t.requester}
 	}
+	b.traceDone(addr, "")
 	b.commit(addr, t.kind, t.requester, next)
 	b.busy.Delete(addr)
 }
@@ -450,6 +461,7 @@ func (b *bankNode) onComplete(addr uint64) {
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: completion for idle block %#x", b.id, addr))
 	}
+	b.traceDone(addr, "")
 	b.commit(addr, t.kind, t.requester, t.next)
 	b.busy.Delete(addr)
 }
@@ -506,7 +518,7 @@ func (b *bankNode) backInvalidate(v proto.Victim) {
 	if b.busy.Has(v.Addr) {
 		panic(fmt.Sprintf("bank %d: back-invalidation of busy block %#x", b.id, v.Addr))
 	}
-	b.busy.Put(v.Addr, &txn{backInvalAcks: len(holders)})
+	b.busy.Put(v.Addr, &txn{backInvalAcks: len(holders), startedAt: b.sys.eng.Now()})
 	for _, h := range holders {
 		b.sys.net.SendEvent(b.id, h, mesh.CtrlBytes, mesh.Coherence,
 			b.sys.cores[h], copInv, v.Addr, pk(-1, int16(b.id), 0, 0))
@@ -520,6 +532,7 @@ func (b *bankNode) onBackInvAck(addr uint64) {
 	}
 	t.backInvalAcks--
 	if t.backInvalAcks == 0 {
+		b.traceDone(addr, "back-inval")
 		b.busy.Delete(addr)
 	}
 }

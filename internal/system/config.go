@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"tinydir/internal/obs"
 	"tinydir/internal/proto"
 	"tinydir/internal/sim"
 )
@@ -39,6 +40,12 @@ type Config struct {
 	// Observer, when non-nil, receives per-event protocol callbacks (the
 	// invariant-test cross-check hook).
 	Observer Observer
+
+	// Recorder, when non-nil, attaches the time-resolved observability
+	// layer (epoch sampling, latency histograms, trace export, stall
+	// watchdog). Like Observer it is pure observation: metrics and event
+	// order are identical with or without it.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns the Table I machine scaled to the given core

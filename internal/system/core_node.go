@@ -6,6 +6,7 @@ import (
 	"tinydir/internal/blockmap"
 	"tinydir/internal/cache"
 	"tinydir/internal/mesh"
+	"tinydir/internal/obs"
 	"tinydir/internal/proto"
 	"tinydir/internal/sim"
 	"tinydir/internal/trace"
@@ -37,6 +38,15 @@ type outstanding struct {
 	dataMode   int // 0 none needed, 1 with grant, 2 separate message
 	notifyHome bool
 	done       bool
+
+	// Observability-only classification (see recordMissRetire). These are
+	// dead state when no recorder is attached and are deliberately not
+	// serialized: instrumented runs never restore from a checkpoint.
+	issuedAt   sim.Time
+	nacked     bool
+	threeHop   bool
+	lengthened bool
+	viaMem     bool
 }
 
 // coreNode is one tile's core plus its private cache hierarchy.
@@ -66,9 +76,10 @@ type coreNode struct {
 }
 
 type fwdReq struct {
-	kind      proto.ReqKind
-	requester int
-	bank      int
+	kind       proto.ReqKind
+	requester  int
+	bank       int
+	lengthened bool
 }
 
 type invReq struct {
@@ -123,6 +134,9 @@ func (c *coreNode) step() {
 				if c.sys.obs != nil {
 					c.sys.obs.Retire(c.id, ref.Addr, ref.Kind, false, false)
 				}
+				if c.sys.rec != nil {
+					c.sys.onRetire(obs.LatL1Hit, eng.Now()+elapsed, uint64(c.sys.cfg.L1Lat))
+				}
 				c.pos++
 				c.sys.metrics.L1Hits++
 				continue
@@ -140,6 +154,9 @@ func (c *coreNode) step() {
 			elapsed += c.sys.cfg.L1Lat + c.sys.cfg.L2Lat
 			if c.sys.obs != nil {
 				c.sys.obs.Retire(c.id, ref.Addr, ref.Kind, false, false)
+			}
+			if c.sys.rec != nil {
+				c.sys.onRetire(obs.LatL2Hit, eng.Now()+elapsed, uint64(c.sys.cfg.L1Lat+c.sys.cfg.L2Lat))
 			}
 			c.pos++
 			c.sys.metrics.L2Hits++
@@ -163,6 +180,7 @@ func (c *coreNode) step() {
 			kind:     kind,
 			ifetch:   ref.Kind == trace.Ifetch,
 			wantAcks: -1,
+			issuedAt: eng.Now() + elapsed,
 		}
 		c.sys.metrics.PrivateMisses++
 		eng.ScheduleAfter(elapsed+c.sys.cfg.L1Lat+c.sys.cfg.L2Lat, c, copSendReq, ref.Addr, 0)
@@ -178,6 +196,7 @@ func (c *coreNode) sendReq(addr uint64) {
 		// fresh copy and untrack a live line (letting a later requester
 		// take it exclusively alongside ours). Hold the request until the
 		// acknowledgement drains the eviction buffer.
+		c.out.nacked = true
 		c.sys.metrics.Retries++
 		c.sys.eng.ScheduleAfter(c.sys.cfg.NackRetry, c, copRetrySend, addr, 0)
 		return
@@ -193,13 +212,15 @@ func (c *coreNode) onNack(addr uint64) {
 	if c.out == nil || c.out.addr != addr || c.out.done {
 		return
 	}
+	c.out.nacked = true
 	c.retries++
 	c.sys.metrics.Retries++
 	c.sys.eng.ScheduleAfter(c.sys.cfg.NackRetry, c, copRetrySend, addr, 0)
 }
 
-// onGrant receives the home bank's response.
-func (c *coreNode) onGrant(addr uint64, st privState, dataMode, wantAcks int, notify bool) {
+// onGrant receives the home bank's response. viaMem marks a grant whose
+// data came from a DRAM fetch (latency classification only).
+func (c *coreNode) onGrant(addr uint64, st privState, dataMode, wantAcks int, notify, viaMem bool) {
 	o := c.out
 	if o == nil || o.addr != addr || o.done {
 		panic(fmt.Sprintf("core %d: grant for unexpected block %#x", c.id, addr))
@@ -209,6 +230,7 @@ func (c *coreNode) onGrant(addr uint64, st privState, dataMode, wantAcks int, no
 	o.dataMode = dataMode
 	o.wantAcks = wantAcks
 	o.notifyHome = notify
+	o.viaMem = viaMem
 	if dataMode == 1 {
 		o.hasData = true
 	}
@@ -216,8 +238,8 @@ func (c *coreNode) onGrant(addr uint64, st privState, dataMode, wantAcks int, no
 }
 
 // onOwnerData receives a three-hop data response from the owner or an
-// elected sharer.
-func (c *coreNode) onOwnerData(addr uint64, st privState) {
+// elected sharer; lengthened marks a corrupted-shared supply.
+func (c *coreNode) onOwnerData(addr uint64, st privState, lengthened bool) {
 	o := c.out
 	if o == nil || o.addr != addr || o.done {
 		panic(fmt.Sprintf("core %d: owner data for unexpected block %#x", c.id, addr))
@@ -225,6 +247,10 @@ func (c *coreNode) onOwnerData(addr uint64, st privState) {
 	o.hasGrant = true
 	o.grantState = st
 	o.hasData = true
+	o.threeHop = true
+	if lengthened {
+		o.lengthened = true
+	}
 	if o.wantAcks < 0 {
 		o.wantAcks = 0
 	}
@@ -241,6 +267,7 @@ func (c *coreNode) onInvAck(addr uint64, withData bool) {
 	o.acks++
 	if withData {
 		o.hasData = true
+		o.threeHop = true
 	}
 	c.maybeComplete()
 }
@@ -262,6 +289,9 @@ func (c *coreNode) maybeComplete() {
 		c.sys.obs.Retire(c.id, o.addr, c.refs[c.pos].Kind, true,
 			o.grantState == psE || o.grantState == psM)
 	}
+	if c.sys.rec != nil {
+		c.recordMissRetire(o)
+	}
 	if o.notifyHome {
 		b := c.sys.bankOf(o.addr)
 		c.sys.net.SendEvent(c.id, b.id, mesh.CtrlBytes, mesh.Coherence, b, bopComplete, o.addr, 0)
@@ -271,7 +301,7 @@ func (c *coreNode) maybeComplete() {
 	// Serve any forwarded request / invalidations that raced ahead.
 	if f, ok := c.pendingFwd.Get(o.addr); ok {
 		c.pendingFwd.Delete(o.addr)
-		c.onFwd(o.addr, f.kind, f.requester, f.bank)
+		c.onFwd(o.addr, f.kind, f.requester, f.bank, f.lengthened)
 	}
 	if invs, ok := c.pendingInvs.Get(o.addr); ok {
 		c.pendingInvs.Delete(o.addr)
@@ -343,14 +373,15 @@ func (c *coreNode) onEvictAck(addr uint64) {
 
 // onFwd serves a request forwarded by the home bank: this core is the
 // exclusive owner (or the elected sharer) and must supply the data.
-func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
+// lengthened rides along so the requester can classify its fill.
+func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int, lengthened bool) {
 	if c.out != nil && c.out.addr == addr && !c.out.done && c.out.hasGrant && requester != c.id {
 		// Our own granted fill for this block is still in flight: the
 		// forward raced ahead of the data. Defer until completion. (If
 		// the request is still being NACKed, or the forward names us as
 		// requester, our copy sits in the eviction buffer — serve it now
 		// or the home bank's transaction deadlocks.)
-		c.pendingFwd.Put(addr, fwdReq{kind: kind, requester: requester, bank: bank})
+		c.pendingFwd.Put(addr, fwdReq{kind: kind, requester: requester, bank: bank, lengthened: lengthened})
 		return
 	}
 	st := psI
@@ -394,7 +425,7 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int) {
 		grant = psM
 	}
 	c.sys.net.SendEvent(c.id, requester, mesh.DataBytes, mesh.Processor,
-		c.sys.cores[requester], copOwnerData, addr, pk(int16(grant), 0, 0, 0))
+		c.sys.cores[requester], copOwnerData, addr, pk(int16(grant), b2i(lengthened), 0, 0))
 	// Busy-clear to the home bank; an M->S downgrade ships the dirty data
 	// back to the LLC with it.
 	dirty := st == psM && kind.IsRead()

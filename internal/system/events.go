@@ -39,10 +39,10 @@ const (
 	copSendReq       = iota // issue the outstanding miss (after private-hit latency)
 	copRetrySend            // guarded NACK/evict-hold retry timer
 	copNack                 // home bank NACK delivery
-	copGrant                // home bank grant: arg = (state, dataMode, wantAcks, notify)
-	copOwnerData            // three-hop data from owner/sharer: arg = (state)
+	copGrant                // home bank grant: arg = (state, dataMode, wantAcks, notify|viaMem<<1)
+	copOwnerData            // three-hop data from owner/sharer: arg = (state, lengthened)
 	copInvAck               // invalidation ack collection: arg = (withData)
-	copFwd                  // forwarded request: arg = (kind, requester, bank)
+	copFwd                  // forwarded request: arg = (kind, requester, bank, lengthened)
 	copInv                  // invalidation: arg = (ackTo, ackBank, withData)
 	copEvictAck             // eviction notice acknowledged
 	copEvictNack            // eviction notice NACKed (block busy at home)
@@ -61,17 +61,17 @@ func (c *coreNode) OnEvent(op int, addr uint64, arg int64) {
 	case copNack:
 		c.onNack(addr)
 	case copGrant:
-		st, dataMode, wantAcks, notify := unpk(arg)
-		c.onGrant(addr, privState(st), int(dataMode), int(wantAcks), notify != 0)
+		st, dataMode, wantAcks, flags := unpk(arg)
+		c.onGrant(addr, privState(st), int(dataMode), int(wantAcks), flags&1 != 0, flags&2 != 0)
 	case copOwnerData:
-		st, _, _, _ := unpk(arg)
-		c.onOwnerData(addr, privState(st))
+		st, lengthened, _, _ := unpk(arg)
+		c.onOwnerData(addr, privState(st), lengthened != 0)
 	case copInvAck:
 		withData, _, _, _ := unpk(arg)
 		c.onInvAck(addr, withData != 0)
 	case copFwd:
-		kind, requester, bank, _ := unpk(arg)
-		c.onFwd(addr, proto.ReqKind(kind), int(requester), int(bank))
+		kind, requester, bank, lengthened := unpk(arg)
+		c.onFwd(addr, proto.ReqKind(kind), int(requester), int(bank), lengthened != 0)
 	case copInv:
 		ackTo, ackBank, withData, _ := unpk(arg)
 		c.onInv(addr, int(ackTo), int(ackBank), withData != 0)

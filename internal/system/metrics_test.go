@@ -1,0 +1,57 @@
+package system
+
+import "testing"
+
+// TestMetricsZeroActivity pins the derivation helpers' behavior on a run
+// that did nothing: every rate must come back 0, never NaN or a panic —
+// the epoch sampler and figure builders divide by these denominators
+// blindly.
+func TestMetricsZeroActivity(t *testing.T) {
+	var m Metrics
+	checks := []struct {
+		name string
+		got  float64
+	}{
+		{"LLCMissRate", m.LLCMissRate()},
+		{"LengthenedFrac", m.LengthenedFrac()},
+		{"SpillAvoidedFrac", m.SpillAvoidedFrac()},
+		{"LengthenedBlockFrac", m.LengthenedBlockFrac()},
+	}
+	for _, c := range checks {
+		if c.got != 0 {
+			t.Errorf("%s on zero metrics = %v, want 0", c.name, c.got)
+		}
+	}
+	if m.TotalTraffic() != 0 {
+		t.Errorf("TotalTraffic on zero metrics = %d, want 0", m.TotalTraffic())
+	}
+}
+
+// TestMetricsDerivations checks the helpers on hand-computable inputs.
+func TestMetricsDerivations(t *testing.T) {
+	m := Metrics{
+		LLCAccesses:      200,
+		LLCMisses:        50,
+		LengthenedCode:   10,
+		LengthenedData:   30,
+		SpillAvoided:     20,
+		AllocatedBlocks:  400,
+		LengthenedBlocks: 100,
+		TrafficBytes:     [3]uint64{1, 2, 3},
+	}
+	if got := m.LLCMissRate(); got != 0.25 {
+		t.Errorf("LLCMissRate = %v, want 0.25", got)
+	}
+	if got := m.LengthenedFrac(); got != 0.2 {
+		t.Errorf("LengthenedFrac = %v, want 0.2", got)
+	}
+	if got := m.SpillAvoidedFrac(); got != 0.1 {
+		t.Errorf("SpillAvoidedFrac = %v, want 0.1", got)
+	}
+	if got := m.LengthenedBlockFrac(); got != 0.25 {
+		t.Errorf("LengthenedBlockFrac = %v, want 0.25", got)
+	}
+	if got := m.TotalTraffic(); got != 6 {
+		t.Errorf("TotalTraffic = %d, want 6", got)
+	}
+}

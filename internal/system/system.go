@@ -8,6 +8,7 @@ import (
 	"tinydir/internal/cache"
 	"tinydir/internal/dram"
 	"tinydir/internal/mesh"
+	"tinydir/internal/obs"
 	"tinydir/internal/proto"
 	"tinydir/internal/sim"
 	"tinydir/internal/trace"
@@ -26,6 +27,12 @@ type System struct {
 	maxDist  int
 
 	obs Observer
+
+	// Time-resolved observability (nil when disabled; see obs.go).
+	rec        *obs.Recorder
+	epochEvery uint64
+	nextEpoch  uint64
+	retired    uint64
 
 	running int
 	metrics Metrics
@@ -54,6 +61,7 @@ func New(cfg Config, traces [][]trace.Ref) *System {
 	for i := 0; i < cfg.Cores; i++ {
 		s.cores = append(s.cores, newCoreNode(s, i, traces[i]))
 	}
+	s.attachObs()
 	return s
 }
 
@@ -150,6 +158,7 @@ func (s *System) Complete(maxEvents uint64) Metrics {
 }
 
 func (s *System) collect() {
+	s.flushObs()
 	m := &s.metrics
 	for _, b := range s.banks {
 		b.finalHarvest()

@@ -1,0 +1,257 @@
+package tinydir
+
+// Progress reporting for sweeps. Before this existed, every prefetch
+// worker wrote its own lines straight to Suite.Progress, so `-j > 1`
+// interleaved fragments of different runs. All progress now funnels
+// through one mutex-guarded Reporter, which also keeps the counters the
+// live sweep monitor (`experiments -http`) publishes and derives a run
+// ETA from sweep throughput.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tinydir/internal/obs"
+)
+
+// Reporter serializes progress output and tracks sweep state. All methods
+// are safe for concurrent use. The zero value is not usable; Suites build
+// one lazily around their Progress writer.
+type Reporter struct {
+	mu      sync.Mutex
+	w       io.Writer // nil = counters only, no output
+	start   time.Time
+	planned int
+	done    int
+	served  int // done runs answered from the store without simulating
+	active  map[string]*obs.EpochSampler
+}
+
+// NewReporter creates a reporter writing to w (nil suppresses output but
+// still tracks counters for the monitor).
+func NewReporter(w io.Writer) *Reporter {
+	return &Reporter{w: w, start: time.Now(), active: map[string]*obs.EpochSampler{}}
+}
+
+func (r *Reporter) printf(format string, args ...interface{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w != nil {
+		fmt.Fprintf(r.w, format, args...)
+	}
+}
+
+// addPlanned grows the sweep's expected run count (one prefetch plan at a
+// time, as figures are built).
+func (r *Reporter) addPlanned(n int) {
+	r.mu.Lock()
+	r.planned += n
+	r.mu.Unlock()
+}
+
+// runStarted announces a run and registers its sampler (may be nil) for
+// live IPC reporting.
+func (r *Reporter) runStarted(app, scheme string, e *obs.EpochSampler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e != nil {
+		r.active[app+" "+scheme] = e
+	}
+	if r.w != nil {
+		fmt.Fprintf(r.w, "  running %-14s %s\n", app, scheme)
+	}
+}
+
+// runDone retires a run, printing its duration and the sweep ETA.
+func (r *Reporter) runDone(app, scheme string, simulated bool, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.active, app+" "+scheme)
+	r.done++
+	if !simulated {
+		r.served++
+	}
+	if r.w == nil {
+		return
+	}
+	suffix := fmt.Sprintf("[%d done]", r.done)
+	if eta, ok := r.etaLocked(); ok {
+		suffix = fmt.Sprintf("[%d/%d eta %s]", r.done, r.planned, eta.Round(time.Second))
+	}
+	fmt.Fprintf(r.w, "  done    %-14s %-28s %8s %s\n", app, scheme, d.Round(time.Millisecond), suffix)
+}
+
+// etaLocked estimates time to finish the planned runs from sweep
+// throughput so far. Callers hold mu.
+func (r *Reporter) etaLocked() (time.Duration, bool) {
+	if r.planned < r.done || r.done == 0 {
+		return 0, false
+	}
+	remaining := r.planned - r.done
+	per := time.Since(r.start) / time.Duration(r.done)
+	return time.Duration(remaining) * per, true
+}
+
+// Writer returns an io.Writer whose Writes hold the reporter lock, so
+// multi-line dumps (the stall watchdog's) never interleave with progress
+// lines or each other.
+func (r *Reporter) Writer() io.Writer { return lockedWriter{r} }
+
+type lockedWriter struct{ r *Reporter }
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.r.mu.Lock()
+	defer lw.r.mu.Unlock()
+	if lw.r.w == nil {
+		return len(p), nil
+	}
+	return lw.r.w.Write(p)
+}
+
+// ActiveRun is one in-flight simulation in a SweepStatus.
+type ActiveRun struct {
+	Name string
+	// IPC is the last completed epoch's retirement rate; 0 until the
+	// run's first epoch closes (or when epoch sampling is off).
+	IPC float64
+}
+
+// SweepStatus is the monitor's view of a sweep, published by
+// `experiments -http` as the expvar "sweep".
+type SweepStatus struct {
+	Planned int
+	Done    int
+	Served  int // answered from the run store without simulating
+	Elapsed time.Duration
+	ETA     time.Duration // 0 when unknown
+	Active  []ActiveRun
+}
+
+// Snapshot returns the current sweep state. Safe to call from any
+// goroutine while runs execute.
+func (r *Reporter) Snapshot() SweepStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := SweepStatus{
+		Planned: r.planned,
+		Done:    r.done,
+		Served:  r.served,
+		Elapsed: time.Since(r.start).Round(time.Millisecond),
+	}
+	if eta, ok := r.etaLocked(); ok {
+		st.ETA = eta.Round(time.Millisecond)
+	}
+	for name, e := range r.active {
+		st.Active = append(st.Active, ActiveRun{Name: name, IPC: e.LatestIPC()})
+	}
+	sort.Slice(st.Active, func(i, j int) bool { return st.Active[i].Name < st.Active[j].Name })
+	return st
+}
+
+// newRecorder builds a fresh per-run recorder from the suite's Obs
+// config, or nil when observability is off. Watchdog dumps default to the
+// reporter's locked writer so they cannot interleave with progress lines.
+func (s *Suite) newRecorder(rep *Reporter) *ObsRecorder {
+	if !s.Obs.Enabled() {
+		return nil
+	}
+	cfg := s.Obs
+	if cfg.WatchdogWindow != 0 && cfg.StallOut == nil {
+		cfg.StallOut = rep.Writer()
+	}
+	return NewObsRecorder(cfg)
+}
+
+// sampler returns the epoch sampler of a recorder that may be nil.
+func sampler(rec *ObsRecorder) *obs.EpochSampler {
+	if rec == nil {
+		return nil
+	}
+	return rec.Epochs
+}
+
+// obsFileBase derives the artifact file stem for one run. Scheme names
+// contain '/' (ratio spellings like "tiny-1/64x-dstra"), which must not
+// become path separators.
+func obsFileBase(app string, scheme Scheme, sc Scale) string {
+	name := app + "_" + scheme.String() + "_" + sc.Name
+	if sc.HalveHierarchy {
+		name += "_halved"
+	}
+	return strings.NewReplacer("/", "-", "|", "-").Replace(name)
+}
+
+// writeObsArtifacts emits one simulated run's observability files under
+// ObsDir: <base>.epochs.csv, <base>.latency.txt, <base>.trace.json —
+// whichever pieces the config enabled. The scale comes from the run's own
+// Options, not the suite's (derived sub-suites run at other scales).
+// Failures are reported, not fatal: a sweep should not die because an
+// artifact disk filled.
+func (s *Suite) writeObsArtifacts(o Options, rec *ObsRecorder, rep *Reporter) {
+	if s.ObsDir == "" || rec == nil {
+		return
+	}
+	base := filepath.Join(s.ObsDir, obsFileBase(o.App.Name, o.Scheme, o.Scale))
+	if err := writeObsFiles(base, rec); err != nil {
+		rep.printf("  obs: %v\n", err)
+	}
+}
+
+// executeRun performs one simulation with progress reporting and
+// observability attachment — the one code path behind both the serial
+// figure builder and the prefetch workers.
+func (s *Suite) executeRun(o Options) (Result, bool) {
+	rep := s.Monitor()
+	rec := s.newRecorder(rep)
+	o.Obs = rec
+	rep.runStarted(o.App.Name, o.Scheme.String(), sampler(rec))
+	start := time.Now()
+	r, simulated := runWithStore(o, s.Store, s.Resume)
+	if simulated {
+		s.writeObsArtifacts(o, rec, rep)
+	}
+	rep.runDone(o.App.Name, o.Scheme.String(), simulated, time.Since(start))
+	return r, simulated
+}
+
+// writeObsFiles writes the enabled artifacts for one recorder to
+// <base>.<ext>. Shared by the Suite and cmd/experiments single-run paths.
+func writeObsFiles(base string, rec *ObsRecorder) error {
+	if err := os.MkdirAll(filepath.Dir(base), 0o755); err != nil {
+		return err
+	}
+	emit := func(ext string, write func(io.Writer) error) error {
+		f, err := os.Create(base + ext)
+		if err != nil {
+			return err
+		}
+		werr := write(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if rec.Epochs != nil {
+		if err := emit(".epochs.csv", rec.Epochs.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if rec.Latency != nil {
+		if err := emit(".latency.txt", rec.Latency.WriteText); err != nil {
+			return err
+		}
+	}
+	if rec.Trace != nil {
+		if err := emit(".trace.json", rec.Trace.WriteJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}

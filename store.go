@@ -211,13 +211,20 @@ func runWithStore(o Options, store *RunStore, resume bool) (Result, bool) {
 	build := func() *system.System {
 		cfg := o.Scale.machine()
 		cfg.NewTracker = o.Scheme.newTracker(cfg)
+		cfg.Recorder = o.Obs
 		gen := trace.NewGen(o.App, cfg.Cores)
 		return system.New(cfg, gen.Traces(o.Scale.Refs))
 	}
 
 	var m Metrics
 	switch {
-	case store == nil:
+	case store == nil || o.Obs != nil:
+		// Instrumented runs never restore from (or leave) warmup
+		// checkpoints: observability state is not serialized, and a
+		// restored run would miss the warmup phase's epochs, latencies and
+		// spans. The Result still flows through the store below, and
+		// PutResult's byte-compare doubles as a check that recording left
+		// the metrics untouched.
 		m = build().Run(o.MaxEvents)
 	default:
 		m = runCheckpointed(build, o, store, key)

@@ -26,6 +26,7 @@ import (
 
 	"tinydir/internal/core"
 	"tinydir/internal/dir"
+	"tinydir/internal/obs"
 	"tinydir/internal/proto"
 	"tinydir/internal/system"
 	"tinydir/internal/trace"
@@ -36,6 +37,28 @@ type Profile = trace.Profile
 
 // Metrics re-exports the simulation metrics.
 type Metrics = system.Metrics
+
+// ObsConfig re-exports the observability configuration (see internal/obs):
+// epoch sampling interval, latency histograms, trace-span budget, and the
+// stall watchdog window.
+type ObsConfig = obs.Config
+
+// ObsRecorder re-exports the per-run observability recorder. A recorder
+// belongs to exactly one run: it accumulates that run's epoch series,
+// latency histograms and trace spans, to be dumped after the run returns.
+type ObsRecorder = obs.Recorder
+
+// EpochSample re-exports one closed epoch of the sampler's time series
+// (counter deltas over the epoch, plus derivation helpers like IPC).
+type EpochSample = obs.EpochSample
+
+// DefaultEpochInterval is the default epoch sampling period in cycles.
+const DefaultEpochInterval = obs.DefaultEpochInterval
+
+// NewObsRecorder builds a recorder for one run, or nil when the config
+// enables nothing (a nil recorder is the documented "off" state and costs
+// one predictable branch per event).
+func NewObsRecorder(c ObsConfig) *ObsRecorder { return obs.NewRecorder(c) }
 
 // Apps returns the 17 application profiles of Table II.
 func Apps() []Profile { return trace.Apps() }
@@ -283,6 +306,13 @@ type Options struct {
 	Scale  Scale
 	// MaxEvents bounds the run (0 = default safety bound).
 	MaxEvents uint64
+	// Obs, when non-nil, attaches the time-resolved observability layer to
+	// this run. Recording is pure observation — metrics and event order are
+	// bit-identical with or without it — but instrumented runs bypass the
+	// store's warmup checkpoints (observability state is deliberately not
+	// serialized, and latency histograms must span the whole run). Obs does
+	// not contribute to the store key for the same reason.
+	Obs *ObsRecorder
 }
 
 // Result is the outcome of one simulation.
