@@ -26,6 +26,15 @@
 // Each simulation is independent, so the suite runs them on a worker
 // pool of -j goroutines. Output is bit-identical at any -j: figures are
 // always assembled serially from deterministic per-run results.
+//
+// Robustness (DESIGN.md §10): a run that panics or blows -run-timeout is
+// quarantined (post-mortem under <obs-dir>/quarantine/) while the sweep
+// continues; the process then exits nonzero with a failure summary. The
+// deterministic fault-injection soak runs via:
+//
+//	experiments -soak 32                         # 32 seeds x {sparse, tiny, stash}
+//	experiments -soak 8 -fault-rate 0.05 -fault-seed 7
+//	experiments -run-timeout 5m                  # deadline-bound every figure run
 package main
 
 import (
@@ -59,6 +68,10 @@ func main() {
 		obsTrace   = flag.Int("obs-trace", 0, "max Chrome trace-event spans recorded per run (0 = off; needs -obs-dir)")
 		watchdog   = flag.Uint64("watchdog", 0, "dump machine state when no core retires for this many cycles (0 = off)")
 		httpAddr   = flag.String("http", "", "serve the live sweep monitor (expvar + pprof) on this address")
+		soak       = flag.Int("soak", 0, "run a fault-injection soak over this many seeds per scheme instead of figures")
+		faultRate  = flag.Float64("fault-rate", 0.02, "uniform fault rate for -soak (see internal/fault)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "base PRNG seed for -soak; seed i of a sweep uses fault-seed+i")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock deadline; a run exceeding it is quarantined (0 = none)")
 	)
 	flag.Parse()
 
@@ -108,8 +121,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	if *soak > 0 {
+		runSoak(sc, *soak, *faultRate, *faultSeed, *runTimeout, *quiet)
+		return
+	}
+
 	suite := tinydir.NewSuite(sc)
 	suite.Workers = *jobs
+	suite.RunTimeout = *runTimeout
 	if *cacheDir != "" {
 		store, err := tinydir.NewRunStore(*cacheDir)
 		if err != nil {
@@ -169,6 +188,32 @@ func main() {
 		emit(f, *csvOut)
 	}
 	fmt.Fprintf(os.Stderr, "experiments: %d simulations in %s\n", suite.Runs(), time.Since(start).Round(time.Second))
+	if suite.ReportFailures() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSoak executes the seeded fault-injection soak (see tinydir.Soak) and
+// exits nonzero if any run breaks the survival contract.
+func runSoak(sc tinydir.Scale, seeds int, rate float64, seed uint64, timeout time.Duration, quiet bool) {
+	var progress *os.File
+	if !quiet {
+		progress = os.Stderr
+	}
+	start := time.Now()
+	rep := tinydir.Soak(tinydir.SoakOptions{
+		Seeds: seeds, FaultRate: rate, FaultSeed: seed, Scale: sc, Timeout: timeout,
+	}, progress)
+	fmt.Printf("soak: %d runs, %d failures in %s\n", len(rep.Runs), rep.Failures, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("soak: fault totals: %+v\n", rep.Stats)
+	if rep.Failures > 0 {
+		for _, r := range rep.Runs {
+			if r.Err != "" {
+				fmt.Printf("soak: FAILED %s seed %d: %s\n", r.Scheme, r.Seed, r.Err)
+			}
+		}
+		os.Exit(1)
+	}
 }
 
 func emit(f tinydir.Figure, asCSV bool) {

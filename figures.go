@@ -4,12 +4,14 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tinydir/internal/energy"
 )
@@ -117,6 +119,11 @@ type Suite struct {
 	// slower with Obs on.
 	Obs    ObsConfig
 	ObsDir string
+	// RunTimeout bounds each simulation's wall clock (0 = none). A run
+	// that blows it is quarantined like a panicking one — the sweep
+	// completes, Failures() reports it — instead of hanging the worker
+	// pool forever.
+	RunTimeout time.Duration
 
 	sh *suiteShared
 }
@@ -130,7 +137,17 @@ type suiteShared struct {
 	planning bool
 	planned  map[string]bool
 	plan     []plannedRun
+	failures []RunFailure
 	rep      *Reporter // lazily built; all progress output funnels through it
+}
+
+// RunFailure records one run that panicked or blew its deadline inside a
+// sweep: the sweep went on without it, its slot holds a zero Result, and
+// Artifact (when ObsDir was set) names the quarantine post-mortem.
+type RunFailure struct {
+	App, Scheme string
+	Err         string
+	Artifact    string
 }
 
 // plannedRun is one simulation a dry figure pass requested.
@@ -152,7 +169,8 @@ func NewSuite(scale Scale) *Suite {
 // prefetch plan and worker budget.
 func (s *Suite) derived(scale Scale) *Suite {
 	return &Suite{Scale: scale, Progress: s.Progress, Workers: s.Workers,
-		Store: s.Store, Resume: s.Resume, Obs: s.Obs, ObsDir: s.ObsDir, sh: s.sh}
+		Store: s.Store, Resume: s.Resume, Obs: s.Obs, ObsDir: s.ObsDir,
+		RunTimeout: s.RunTimeout, sh: s.sh}
 }
 
 // Monitor returns the suite's progress reporter, building it on first
@@ -272,6 +290,41 @@ func (s *Suite) Runs() int {
 	s.sh.mu.Lock()
 	defer s.sh.mu.Unlock()
 	return s.sh.runs
+}
+
+// Failures returns the runs quarantined so far, in the order they failed.
+// A sweep with failures still produces every figure (failed slots read as
+// zero), so the caller must check this and exit nonzero.
+func (s *Suite) Failures() []RunFailure {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	return append([]RunFailure(nil), s.sh.failures...)
+}
+
+// ReportFailures prints a per-run failure summary through the suite's
+// reporter and returns the failure count (0 = clean sweep). Commands call
+// it last and turn a nonzero count into a nonzero exit. A suite running
+// quiet (no Progress writer) still reports failures — to stderr; quiet
+// suppresses progress, never errors.
+func (s *Suite) ReportFailures() int {
+	fails := s.Failures()
+	if len(fails) == 0 {
+		return 0
+	}
+	printf := s.Monitor().printf
+	if s.Progress == nil {
+		printf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	printf("%d run(s) FAILED and were quarantined:\n", len(fails))
+	for _, f := range fails {
+		printf("  %s %s: %s\n", f.App, f.Scheme, f.Err)
+		if f.Artifact != "" {
+			printf("    artifact: %s\n", f.Artifact)
+		}
+	}
+	return len(fails)
 }
 
 // The public figure methods wrap the serial builders below in the

@@ -10,6 +10,7 @@
 package dram
 
 import (
+	"tinydir/internal/fault"
 	"tinydir/internal/obs"
 	"tinydir/internal/sim"
 )
@@ -69,6 +70,13 @@ type Memory struct {
 	// channel, ts = arrival, duration = queueing + service time). Pure
 	// observation: timing is identical with or without it.
 	Obs *obs.TraceWriter
+
+	// Faults, when non-nil, aborts scheduled transactions with the
+	// configured probability; the request stays pending and the channel
+	// retries after a precharge delay. FaultComp is the injector
+	// component id of channel 0 (channel ch draws as FaultComp+ch).
+	Faults    *fault.Injector
+	FaultComp int
 }
 
 // New creates a memory system with nChannels controllers.
@@ -164,6 +172,15 @@ func (m *Memory) kick(ch int) {
 			pick = i
 			break
 		}
+	}
+	if m.Faults != nil && m.Faults.DRAMDraw(m.FaultComp+ch) {
+		// Transaction abort (modeling a command/CRC retry): leave the
+		// request pending and re-kick after a precharge delay. The
+		// request set is unchanged, so retry terminates with probability
+		// one and ordering stays deterministic.
+		c.kicked = true
+		m.eng.ScheduleAt(now+tRP, m, opKick, uint64(ch), 0)
+		return
 	}
 	r := c.pending[pick]
 	c.pending = append(c.pending[:pick], c.pending[pick+1:]...)

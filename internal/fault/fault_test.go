@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func drawSequence(f *Injector, comp, n int) []MeshVerdict {
+	out := make([]MeshVerdict, n)
+	for i := range out {
+		out[i] = f.MeshDraw(comp, uint64(i*10), true)
+	}
+	return out
+}
+
+// TestDeterministicReplay: the same seed yields bit-identical draw
+// sequences and stats; a different seed diverges.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Uniform(42, 0.05)
+	a := New(cfg, 4)
+	b := New(cfg, 4)
+	for comp := 0; comp < 4; comp++ {
+		sa := drawSequence(a, comp, 500)
+		sb := drawSequence(b, comp, 500)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("component %d: same seed produced different draw sequences", comp)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("same seed, different stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+	c := New(Uniform(43, 0.05), 4)
+	if reflect.DeepEqual(drawSequence(a, 0, 500), drawSequence(c, 0, 500)) {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+}
+
+// TestComponentStreamsIndependent: interleaving draws across components
+// must not change any single component's stream.
+func TestComponentStreamsIndependent(t *testing.T) {
+	cfg := Uniform(7, 0.1)
+	solo := New(cfg, 4)
+	want := drawSequence(solo, 2, 200)
+
+	mixed := New(cfg, 4)
+	var got []MeshVerdict
+	for i := 0; i < 200; i++ {
+		mixed.MeshDraw(0, uint64(i), true)
+		mixed.MeshDraw(1, uint64(i), true)
+		got = append(got, mixed.MeshDraw(2, uint64(i*10), true))
+		mixed.ECCDraw(3)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("component 2's stream changed when other components drew in between")
+	}
+}
+
+// TestZeroRateNeverFires: Enabled is false and New returns nil for the
+// zero config, and a config with only timeouts set injects nothing.
+func TestZeroRateNeverFires(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config claims to be enabled")
+	}
+	if New(Config{}, 8) != nil {
+		t.Fatal("New returned a non-nil injector for the zero config")
+	}
+	if New(Config{Seed: 9, ReqTimeout: 100}, 8) != nil {
+		t.Fatal("timeout-only config built an injector")
+	}
+	if New(Uniform(1, 0), 8) != nil {
+		t.Fatal("Uniform(rate=0) built an injector")
+	}
+}
+
+// TestRatesRoughlyHonored: at rate r over many draws, each fault class
+// fires within a loose band of its expectation.
+func TestRatesRoughlyHonored(t *testing.T) {
+	const n = 200_000
+	f := New(Config{Seed: 3, MeshDrop: 0.1, MeshDup: 0.05, MeshDelay: 0.2, MaxJitter: 16}, 1)
+	for i := 0; i < n; i++ {
+		f.MeshDraw(0, uint64(i), true)
+	}
+	between := func(name string, got uint64, lo, hi float64) {
+		if fr := float64(got) / n; fr < lo || fr > hi {
+			t.Errorf("%s rate %.4f outside [%.3f, %.3f]", name, fr, lo, hi)
+		}
+	}
+	between("drop", f.Stats.MeshDrops, 0.08, 0.12)
+	between("dup", f.Stats.MeshDups, 0.03, 0.07)
+	// Delay shares the draw with drop/dup: a duplicated message always
+	// lands under the delay threshold too, so the expected delay rate is
+	// dup + delay*(1-drop-dup) ≈ 0.05 + 0.2*0.85 = 0.22.
+	between("delay", f.Stats.MeshDelays, 0.19, 0.26)
+
+	e := New(Config{Seed: 3, ECC: 0.02, DRAMAbort: 0.03}, 2)
+	for i := 0; i < n; i++ {
+		e.ECCDraw(0)
+		e.DRAMDraw(1)
+	}
+	between("ecc", e.Stats.ECCDetected, 0.01, 0.03)
+	between("dram", e.Stats.DRAMAborts, 0.02, 0.04)
+}
+
+// TestBlackoutWindow: inside the window every droppable message is
+// lost; outside it the configured (zero) drop rate applies; undroppable
+// messages pass through even inside the window.
+func TestBlackoutWindow(t *testing.T) {
+	f := New(Config{Seed: 5, BlackoutFrom: 100, BlackoutUntil: 200}, 1)
+	if f == nil {
+		t.Fatal("blackout-only config should enable the injector")
+	}
+	for now := uint64(0); now < 300; now += 10 {
+		v := f.MeshDraw(0, now, true)
+		in := now >= 100 && now < 200
+		if v.Drop != in {
+			t.Fatalf("now=%d droppable: drop=%v, want %v", now, v.Drop, in)
+		}
+		if u := f.MeshDraw(0, now, false); u.Drop {
+			t.Fatalf("now=%d undroppable message was dropped", now)
+		}
+	}
+}
+
+// TestJitterBounds: jitter is always in [1, MaxJitter] when a delay
+// fires.
+func TestJitterBounds(t *testing.T) {
+	f := New(Config{Seed: 11, MeshDelay: 1, MaxJitter: 8}, 1)
+	for i := 0; i < 10_000; i++ {
+		v := f.MeshDraw(0, uint64(i), false)
+		if v.Jitter < 1 || v.Jitter > 8 {
+			t.Fatalf("jitter %d outside [1, 8]", v.Jitter)
+		}
+	}
+	// MaxJitter 0: delay class can fire but contributes no latency and
+	// must not count as a delay.
+	z := New(Config{Seed: 11, MeshDelay: 1}, 1)
+	for i := 0; i < 100; i++ {
+		if v := z.MeshDraw(0, uint64(i), false); v.Jitter != 0 {
+			t.Fatal("MaxJitter=0 produced nonzero jitter")
+		}
+	}
+	if z.Stats.MeshDelays != 0 {
+		t.Fatal("MaxJitter=0 counted mesh delays")
+	}
+}
+
+// TestTimeoutDefaults: zero timeouts select documented defaults,
+// explicit values stick.
+func TestTimeoutDefaults(t *testing.T) {
+	f := New(Uniform(1, 0.01), 1)
+	if f.ReqTimeout() != DefaultReqTimeout || f.EvictTimeout() != DefaultEvictTimeout || f.BankTimeout() != DefaultBankTimeout {
+		t.Fatalf("defaults not applied: %d %d %d", f.ReqTimeout(), f.EvictTimeout(), f.BankTimeout())
+	}
+	cfg := Uniform(1, 0.01)
+	cfg.ReqTimeout, cfg.EvictTimeout, cfg.BankTimeout = 123, 456, 789
+	g := New(cfg, 1)
+	if g.ReqTimeout() != 123 || g.EvictTimeout() != 456 || g.BankTimeout() != 789 {
+		t.Fatalf("explicit timeouts lost: %d %d %d", g.ReqTimeout(), g.EvictTimeout(), g.BankTimeout())
+	}
+}
+
+// TestSaveLoadRoundTrip: state round-trips exactly and the restored
+// injector continues the identical draw stream.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := Uniform(99, 0.08)
+	a := New(cfg, 3)
+	drawSequence(a, 0, 137)
+	drawSequence(a, 2, 55)
+	a.ECCDraw(1)
+
+	b := New(cfg, 3)
+	if !b.LoadState(a.SaveState()) {
+		t.Fatal("LoadState rejected a valid payload")
+	}
+	if b.Stats != a.Stats {
+		t.Fatalf("stats differ after restore: %+v vs %+v", b.Stats, a.Stats)
+	}
+	if !reflect.DeepEqual(drawSequence(a, 0, 100), drawSequence(b, 0, 100)) {
+		t.Fatal("restored injector diverged from the original")
+	}
+
+	if b.LoadState(nil) {
+		t.Fatal("accepted nil payload")
+	}
+	if b.LoadState([]uint64{2, 0, 0}) {
+		t.Fatal("accepted truncated payload")
+	}
+	if b.LoadState(append([]uint64{99}, make([]uint64, 200)...)) {
+		t.Fatal("accepted payload with wrong component count")
+	}
+}
+
+// TestThresholdEdges: probability <= 0 never fires, >= 1 always fires.
+func TestThresholdEdges(t *testing.T) {
+	if threshold(0) != 0 || threshold(-1) != 0 {
+		t.Fatal("nonpositive probability has nonzero threshold")
+	}
+	f := New(Config{Seed: 1, MeshDrop: 1}, 1)
+	for i := 0; i < 1000; i++ {
+		if !f.MeshDraw(0, uint64(i), true).Drop {
+			t.Fatal("rate-1 drop did not fire")
+		}
+	}
+}

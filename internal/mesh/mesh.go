@@ -13,6 +13,7 @@ package mesh
 import (
 	"fmt"
 
+	"tinydir/internal/fault"
 	"tinydir/internal/obs"
 	"tinydir/internal/sim"
 )
@@ -82,6 +83,16 @@ type Mesh struct {
 	// source node, duration = wire time). Pure observation: set or left
 	// nil, timing and accounting are identical.
 	Obs *obs.TraceWriter
+
+	// Faults, when non-nil, perturbs SendEvent deliveries: delay jitter
+	// for any message, plus drop/duplication for messages the Droppable
+	// classifier marks as protocol-recoverable. The legacy closure path
+	// (Send) is never faulted — it only carries test traffic.
+	Faults *fault.Injector
+	// Droppable reports whether losing a message to (h, op) is
+	// survivable by the protocol (requests, NACKs, evict traffic).
+	// Everything else is delay-only. Required when Faults is set.
+	Droppable func(h sim.Handler, op int) bool
 }
 
 // Config configures a Mesh.
@@ -182,7 +193,31 @@ func (m *Mesh) SendEvent(src, dst int, bytes int, class TrafficClass, h sim.Hand
 	if m.Obs != nil {
 		m.Obs.Add(obs.CatMesh, class.String(), src, uint64(depart), uint64(d*HopCycles), addr)
 	}
+	if m.Faults != nil {
+		return m.faultDeliver(src, dst, bytes, class, at, h, op, addr, arg)
+	}
 	m.eng.ScheduleAt(at, h, op, addr, arg)
+	return at
+}
+
+// faultDeliver is the cold path taken only when an injector is wired
+// in: it may drop the delivery, delay it, or deliver it twice. Traffic
+// for the original message is already accounted; a duplicate accounts
+// its own wire traffic (it really crosses the mesh again).
+func (m *Mesh) faultDeliver(src, dst, bytes int, class TrafficClass, at sim.Time, h sim.Handler, op int, addr uint64, arg int64) sim.Time {
+	v := m.Faults.MeshDraw(src, uint64(m.eng.Now()), m.Droppable(h, op))
+	if v.Drop {
+		// Lost on the wire: traffic was spent, nothing arrives. The
+		// protocol's timeout/retry machinery heals this.
+		return at
+	}
+	at += sim.Time(v.Jitter)
+	m.eng.ScheduleAt(at, h, op, addr, arg)
+	if v.Dup {
+		m.traffic[class] += uint64(bytes * m.Dist(src, dst))
+		m.msgs[class]++
+		m.eng.ScheduleAt(at+sim.Time(1+v.DupJitter), h, op, addr, arg)
+	}
 	return at
 }
 

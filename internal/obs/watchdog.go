@@ -45,6 +45,14 @@ func (w *Watchdog) Pet(now uint64) {
 	w.firing = false
 }
 
+// Disarm silences the watchdog permanently. The system layer calls it when
+// the last core finishes: the remaining events are drain (writebacks,
+// stale retransmit timers), during which the absence of retirements is not
+// a stall.
+func (w *Watchdog) Disarm() {
+	w.firing = true
+}
+
 // OnStep is the engine watch hook: called after every executed event with
 // the current cycle and the count of executed events.
 func (w *Watchdog) OnStep(now sim.Time, nexec uint64) {
@@ -52,7 +60,10 @@ func (w *Watchdog) OnStep(now sim.Time, nexec uint64) {
 		return
 	}
 	n := uint64(now)
-	if n-w.lastRetire < w.Window {
+	// Retirements can be recorded at a future cycle (private-hit batches
+	// retire at Now()+elapsed), so lastRetire may be ahead of the engine
+	// clock; that is never a stall, and subtracting would wrap.
+	if n < w.lastRetire || n-w.lastRetire < w.Window {
 		return
 	}
 	w.firing = true

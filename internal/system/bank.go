@@ -39,6 +39,10 @@ type txn struct {
 	// observability trace spans only (not serialized; instrumented runs
 	// never restore from a checkpoint).
 	startedAt sim.Time
+	// gen stamps demand transactions in fault mode so the age-check
+	// timer (bopTxnCheck) can tell this transaction from a later one
+	// reusing the same busy slot. Zero outside fault mode.
+	gen uint64
 }
 
 // bankNode is one LLC bank with its coherence-tracking slice.
@@ -50,6 +54,16 @@ type bankNode struct {
 	// busy maps block address -> in-flight transaction; open-addressed
 	// because it is probed on every message arrival.
 	busy blockmap.Map[*txn]
+
+	// Fault-mode duplicate suppression (nil when faults are off): the
+	// highest request / evict-notice sequence number observed per core,
+	// -1 before the first. Messages whose seq is not strictly newer
+	// (serial arithmetic) are retransmission or mesh-duplication echoes
+	// and are dropped.
+	reqSeen   []int32
+	evictSeen []int32
+	// txnGen stamps accepted demand transactions for bopTxnCheck.
+	txnGen uint64
 }
 
 func newBankNode(sys *System, id int) *bankNode {
@@ -57,6 +71,14 @@ func newBankNode(sys *System, id int) *bankNode {
 		sys: sys,
 		id:  id,
 		llc: cache.New[proto.LLCMeta](sys.cfg.LLCSets, sys.cfg.LLCWays, cache.LRU),
+	}
+	if sys.flt != nil {
+		b.reqSeen = make([]int32, sys.cfg.Cores)
+		b.evictSeen = make([]int32, sys.cfg.Cores)
+		for i := range b.reqSeen {
+			b.reqSeen[i] = -1
+			b.evictSeen[i] = -1
+		}
 	}
 	b.llc.SetIndexShift(sys.cfg.bankShift())
 	b.tracker = sys.cfg.NewTracker(id)
@@ -91,9 +113,31 @@ func (b *bankNode) dataLine(addr uint64) *proto.LLCLine {
 	return dl
 }
 
-// handleReq processes a demand request at the home bank.
-func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
+// seqNewer reports whether seq is strictly newer than the last-seen
+// value (serial arithmetic over the 16-bit space; seen < 0 means
+// nothing seen yet).
+func seqNewer(seq uint16, seen int32) bool {
+	if seen < 0 {
+		return true
+	}
+	return int16(seq-uint16(seen)) > 0
+}
+
+// handleReq processes a demand request at the home bank. seq is the
+// requester's per-request sequence number (fault mode only; dedup is
+// checked before the busy test so a timeout retransmit that crossed
+// the in-flight grant dies here instead of NACK-looping).
+func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int, seq uint16) {
 	m := &b.sys.metrics
+	flt := b.sys.flt
+	if flt != nil && !seqNewer(seq, b.reqSeen[c]) {
+		// Duplicate or stale copy of a request this bank already
+		// accepted (mesh duplication, or a timeout retransmit racing the
+		// response): a second transaction would hand out a second grant
+		// the core does not expect.
+		flt.Stats.DupReqs++
+		return
+	}
 	if b.busy.Has(addr) {
 		m.Nacks++
 		b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Processor, b.sys.cores[c], copNack, addr, 0)
@@ -102,6 +146,16 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
 	dl := b.dataLine(addr)
 	llcHit := dl != nil
 	view := b.tracker.Begin(addr, kind, llcHit)
+	if flt != nil && view.E.State != proto.Unowned && flt.ECCDraw(b.sys.cfg.Cores+b.id) {
+		// The parity/ECC check over the tracked sharer vector failed:
+		// the holder set cannot be trusted. Recover conservatively —
+		// NACK the requester and invalidate-and-refetch (never proceed
+		// silently on corrupted state).
+		m.Nacks++
+		b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Processor, b.sys.cores[c], copNack, addr, 0)
+		b.eccRecover(addr, kind, c)
+		return
+	}
 
 	m.LLCAccesses++
 	if !llcHit {
@@ -136,6 +190,14 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int) {
 	}
 
 	t := &txn{kind: kind, requester: c, view: view, startedAt: b.sys.eng.Now()}
+	if flt != nil {
+		// Acceptance: record the sequence number for duplicate
+		// suppression and arm the transaction age check.
+		b.reqSeen[c] = int32(seq)
+		b.txnGen++
+		t.gen = b.txnGen
+		b.sys.eng.ScheduleAfter(sim.Time(flt.BankTimeout()), b, bopTxnCheck, addr, int64(t.gen))
+	}
 	b.busy.Put(addr, t)
 
 	lat := b.sys.cfg.LLCTagLat + sim.Time(view.ExtraLatency)
@@ -349,6 +411,12 @@ func (b *bankNode) memFetchDone(addr uint64) {
 		b.traceDone(addr, "nack")
 		b.busy.Delete(addr)
 		b.sys.metrics.Nacks++
+		if b.sys.flt != nil {
+			// The retry reuses this request's sequence number: roll the
+			// dedup watermark back one so it passes (stale copies of
+			// earlier requests remain not-newer and still die).
+			b.reqSeen[t.requester] = int32(uint16(b.reqSeen[t.requester]) - 1)
+		}
 		b.sys.net.SendEvent(b.id, t.requester, mesh.CtrlBytes, mesh.Processor,
 			b.sys.cores[t.requester], copNack, addr, 0)
 		return
@@ -548,9 +616,52 @@ func (b *bankNode) onWbData(addr uint64) {
 	b.sys.mem.Write(addr)
 }
 
-// handleEvict processes an eviction notice from a private cache.
-func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int) {
+// eccRecover heals a detected sharer-vector corruption: drop the
+// untrusted tracking entry and broadcast an invalidation to every core
+// (the vector cannot tell us which ones hold the block), holding the
+// block busy until all acknowledgements return. Dirty data rides back
+// on the existing back-invalidation writeback path, so nothing is lost.
+func (b *bankNode) eccRecover(addr uint64, kind proto.ReqKind, c int) {
+	flt := b.sys.flt
+	eff := b.tracker.Commit(addr, kind, c, proto.Entry{State: proto.Unowned})
+	b.apply(eff)
+	cores := b.sys.cfg.Cores
+	flt.Stats.ECCInvals += uint64(cores)
+	b.busy.Put(addr, &txn{backInvalAcks: cores, startedAt: b.sys.eng.Now()})
+	for i := 0; i < cores; i++ {
+		b.sys.net.SendEvent(b.id, i, mesh.CtrlBytes, mesh.Coherence,
+			b.sys.cores[i], copInv, addr, pk(-1, int16(b.id), 0, 0))
+	}
+}
+
+// onTxnCheck audits a demand transaction's age (fault mode): protected
+// message classes guarantee forward progress, so a transaction alive a
+// full BankTimeout after acceptance is counted, not killed — a true
+// wedge surfaces through the stall watchdog and DumpStall.
+func (b *bankNode) onTxnCheck(addr uint64, gen uint64) {
+	flt := b.sys.flt
+	if flt == nil {
+		return
+	}
+	if t, _ := b.busy.Get(addr); t != nil && t.gen == gen {
+		flt.Stats.BankTxnLate++
+	}
+}
+
+// handleEvict processes an eviction notice from a private cache. seq is
+// the notice's per-transmission sequence number (fault mode only).
+func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int, seq uint16) {
 	m := &b.sys.metrics
+	if flt := b.sys.flt; flt != nil {
+		if !seqNewer(seq, b.evictSeen[c]) {
+			// Mesh duplicate, or a retransmission overtaken by a newer
+			// one: drop *without* acknowledging, so a stale notice can
+			// never clear a newer eviction-buffer slot at the core.
+			flt.Stats.DupEvicts++
+			return
+		}
+		b.evictSeen[c] = int32(seq)
+	}
 	if b.busy.Has(addr) {
 		m.Nacks++
 		b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Writeback,
@@ -592,9 +703,11 @@ func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int) {
 	}
 	// Acknowledge so the core releases its eviction buffer. Stale
 	// notices (the copy was invalidated while the notice was in flight)
-	// are acknowledged without a commit.
+	// are acknowledged without a commit. The ack echoes the notice's
+	// sequence number: the core only trusts acks for its latest
+	// transmission.
 	b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Writeback,
-		b.sys.cores[c], copEvictAck, addr, 0)
+		b.sys.cores[c], copEvictAck, addr, pk(int16(seq), 0, 0, 0))
 }
 
 // fill allocates an LLC line for addr (fill on miss / writeback

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"tinydir/internal/fault"
 	"tinydir/internal/obs"
 	"tinydir/internal/proto"
 	"tinydir/internal/sim"
@@ -46,6 +47,12 @@ type Config struct {
 	// watchdog). Like Observer it is pure observation: metrics and event
 	// order are identical with or without it.
 	Recorder *obs.Recorder
+
+	// Faults configures the deterministic fault-injection layer (see
+	// DESIGN.md §10). The zero value injects nothing and leaves the
+	// fault-free machine bit-identical — the injector is nil-checked on
+	// every edge, like Observer and Recorder.
+	Faults fault.Config
 }
 
 // DefaultConfig returns the Table I machine scaled to the given core

@@ -5,6 +5,7 @@ import (
 
 	"tinydir/internal/blockmap"
 	"tinydir/internal/cache"
+	"tinydir/internal/fault"
 	"tinydir/internal/mesh"
 	"tinydir/internal/obs"
 	"tinydir/internal/proto"
@@ -39,6 +40,12 @@ type outstanding struct {
 	notifyHome bool
 	done       bool
 
+	// seq identifies this logical request across retransmissions (fault
+	// mode: home banks suppress duplicates by it); xmits counts them for
+	// the exponential-backoff timer.
+	seq   uint16
+	xmits uint8
+
 	// Observability-only classification (see recordMissRetire). These are
 	// dead state when no recorder is attached and are deliberately not
 	// serialized: instrumented runs never restore from a checkpoint.
@@ -62,7 +69,14 @@ type coreNode struct {
 	out *outstanding
 	// evictBuf holds blocks between eviction notice and acknowledgement;
 	// open-addressed because it is probed on every miss issue and forward.
-	evictBuf blockmap.Map[privState]
+	evictBuf blockmap.Map[evictEntry]
+
+	// reqSeq numbers logical requests and evictSeq eviction-notice
+	// transmissions; both only matter in fault mode (the dedup machinery
+	// keyed on them is nil-checked) but are maintained unconditionally —
+	// a counter bump costs nothing and keeps the state machine uniform.
+	reqSeq   uint16
+	evictSeq uint16
 
 	// pendingFwd queues a forwarded request that raced ahead of this
 	// core's own fill for the same block; pendingInvs queues
@@ -86,6 +100,17 @@ type invReq struct {
 	ackTo    int // core id to ack (GetX collection), or -1
 	ackBank  int // bank id to ack (back-invalidation), or -1
 	withData bool
+}
+
+// evictEntry is one eviction-buffer slot: the evicted block's private
+// state plus the fault-mode retransmission bookkeeping. seq is the
+// sequence number of the *latest* transmitted notice — the core clears
+// the slot only on an acknowledgement echoing it, so a delayed ack for
+// a superseded notice can never release a newer one.
+type evictEntry struct {
+	st    privState
+	seq   uint16
+	xmits uint8
 }
 
 func newCoreNode(sys *System, id int, refs []trace.Ref) *coreNode {
@@ -175,11 +200,13 @@ func (c *coreNode) step() {
 				kind = proto.Upg
 			}
 		}
+		c.reqSeq++
 		c.out = &outstanding{
 			addr:     ref.Addr,
 			kind:     kind,
 			ifetch:   ref.Kind == trace.Ifetch,
 			wantAcks: -1,
+			seq:      c.reqSeq,
 			issuedAt: eng.Now() + elapsed,
 		}
 		c.sys.metrics.PrivateMisses++
@@ -201,9 +228,43 @@ func (c *coreNode) sendReq(addr uint64) {
 		c.sys.eng.ScheduleAfter(c.sys.cfg.NackRetry, c, copRetrySend, addr, 0)
 		return
 	}
+	o := c.out
 	b := c.sys.bankOf(addr)
 	c.sys.net.SendEvent(c.id, b.id, mesh.CtrlBytes, mesh.Processor,
-		b, bopHandleReq, addr, pk(int16(c.out.kind), int16(c.id), 0, 0))
+		b, bopHandleReq, addr, pk(int16(o.kind), int16(c.id), int16(o.seq), 0))
+	if flt := c.sys.flt; flt != nil {
+		// The request or its NACK may be lost on the wire: arm a
+		// retransmit timer with bounded exponential backoff. Stale timers
+		// (completed or granted requests) no-op via the seq guard.
+		shift := uint(o.xmits)
+		if shift > fault.MaxBackoffShift {
+			shift = fault.MaxBackoffShift
+		}
+		if o.xmits < 255 {
+			o.xmits++
+		}
+		c.sys.eng.ScheduleAfter(sim.Time(flt.ReqTimeout()<<shift), c,
+			copReqTimeout, addr, pk(int16(o.seq), 0, 0, 0))
+	}
+}
+
+// onReqTimeout retransmits a request whose acceptance we cannot
+// confirm: no grant arrived within the backoff window, so either the
+// request or a NACK was lost (or merely delayed — the home bank
+// suppresses the duplicate by sequence number).
+func (c *coreNode) onReqTimeout(addr uint64, seq uint16) {
+	flt := c.sys.flt
+	if flt == nil {
+		return
+	}
+	o := c.out
+	if o == nil || o.addr != addr || o.seq != seq || o.done || o.hasGrant {
+		return
+	}
+	flt.Stats.ReqTimeouts++
+	c.retries++
+	c.sys.metrics.Retries++
+	c.sendReq(addr)
 }
 
 // onNack retries the request after a backoff (the paper's NACK/retry
@@ -339,27 +400,48 @@ func (c *coreNode) fill(addr uint64, st privState, ifetch bool) {
 }
 
 func (c *coreNode) sendEvict(addr uint64, st privState) {
-	c.evictBuf.Put(addr, st)
+	c.evictBuf.Put(addr, evictEntry{st: st})
 	c.transmitEvict(addr)
 }
 
 func (c *coreNode) transmitEvict(addr uint64) {
-	st, ok := c.evictBuf.Get(addr)
+	e, ok := c.evictBuf.Get(addr)
 	if !ok {
 		return // invalidated while the notice was pending
 	}
 	kind := proto.PutS
 	bytes := mesh.CtrlBytes
-	switch st {
+	switch e.st {
 	case psE:
 		kind = proto.PutE
 	case psM:
 		kind = proto.PutM
 		bytes = mesh.DataBytes
 	}
+	if flt := c.sys.flt; flt != nil {
+		// Every transmission carries a fresh sequence number; the home
+		// bank drops reordered stale notices and the ack echoes the seq
+		// so only the latest transmission can clear the buffer. A
+		// backed-off retransmit timer heals lost notices and lost acks
+		// (it no-ops once the slot is released).
+		if e.xmits > 0 {
+			flt.Stats.EvictRetransmits++
+		}
+		c.evictSeq++
+		e.seq = c.evictSeq
+		shift := uint(e.xmits)
+		if shift > fault.MaxBackoffShift {
+			shift = fault.MaxBackoffShift
+		}
+		if e.xmits < 255 {
+			e.xmits++
+		}
+		c.evictBuf.Put(addr, e)
+		c.sys.eng.ScheduleAfter(sim.Time(flt.EvictTimeout()<<shift), c, copTransmitEvict, addr, 0)
+	}
 	b := c.sys.bankOf(addr)
 	c.sys.net.SendEvent(c.id, b.id, bytes, mesh.Writeback,
-		b, bopHandleEvict, addr, pk(int16(kind), int16(c.id), 0, 0))
+		b, bopHandleEvict, addr, pk(int16(kind), int16(c.id), int16(e.seq), 0))
 }
 
 func (c *coreNode) onEvictNack(addr uint64) {
@@ -367,7 +449,19 @@ func (c *coreNode) onEvictNack(addr uint64) {
 	c.sys.eng.ScheduleAfter(c.sys.cfg.NackRetry, c, copTransmitEvict, addr, 0)
 }
 
-func (c *coreNode) onEvictAck(addr uint64) {
+func (c *coreNode) onEvictAck(addr uint64, seq uint16) {
+	if flt := c.sys.flt; flt != nil {
+		e, ok := c.evictBuf.Get(addr)
+		if !ok {
+			return // duplicate ack; the slot is already released
+		}
+		if e.seq != seq {
+			// Ack for a superseded transmission: a newer notice is in
+			// flight and must be acknowledged itself.
+			flt.Stats.StaleEvictAcks++
+			return
+		}
+	}
 	c.evictBuf.Delete(addr)
 }
 
@@ -405,9 +499,9 @@ func (c *coreNode) onFwd(addr uint64, kind proto.ReqKind, requester, bank int, l
 				il.Meta.st = psS
 			}
 		}
-	} else if bst, ok := c.evictBuf.Get(addr); ok {
+	} else if be, ok := c.evictBuf.Get(addr); ok {
 		// Late intervention: serve from the eviction buffer (GS320).
-		st = bst
+		st = be.st
 		retained = false
 	} else {
 		// Stale forward: the oracle-based schemes (MgD regions, Stash
@@ -467,8 +561,8 @@ func (c *coreNode) onInv(addr uint64, ackTo, ackBank int, withData bool) {
 	if c.sys.obs != nil {
 		c.sys.obs.Invalidate(c.id, addr)
 	}
-	if st, ok := c.evictBuf.Get(addr); ok {
-		wasM = wasM || st == psM
+	if e, ok := c.evictBuf.Get(addr); ok {
+		wasM = wasM || e.st == psM
 		c.evictBuf.Delete(addr) // the pending notice becomes stale
 	}
 	if wasM && ackBank >= 0 {
@@ -490,14 +584,16 @@ func (c *coreNode) onInv(addr uint64, ackTo, ackBank int, withData bool) {
 	}
 }
 
-// holds reports the core's private state for a block (the broadcast
-// oracle's probe).
-func (c *coreNode) holds(addr uint64) privState {
+// probe reports the core's private state for a block (the broadcast
+// oracle's snoop response). buffered marks a copy that lives only in the
+// eviction buffer — its notice is in flight or awaiting acknowledgement —
+// which the oracle must not let shadow a cache-resident copy.
+func (c *coreNode) probe(addr uint64) (st privState, buffered bool) {
 	if l := c.l2.Lookup(addr); l != nil {
-		return l.Meta.st
+		return l.Meta.st, false
 	}
-	if st, ok := c.evictBuf.Get(addr); ok {
-		return st
+	if e, ok := c.evictBuf.Get(addr); ok {
+		return e.st, true
 	}
-	return psI
+	return psI, false
 }

@@ -11,7 +11,25 @@ import (
 
 	"tinydir/internal/mesh"
 	"tinydir/internal/proto"
+	"tinydir/internal/sim"
 )
+
+// faultDroppable classifies mesh deliveries whose loss the protocol can
+// heal: requests and eviction notices are re-sent by core-side timeout
+// timers, and NACKs / evict acks-NACKs are themselves answers to those
+// retransmittable messages. Everything else (grants, owner data,
+// invalidations, ack collection, memory traffic) is delay-only — losing
+// one would strand a transaction the home bank believes is in flight,
+// which real meshes prevent with link-level retransmission.
+func faultDroppable(h sim.Handler, op int) bool {
+	switch h.(type) {
+	case *bankNode:
+		return op == bopHandleReq || op == bopHandleEvict
+	case *coreNode:
+		return op == copNack || op == copEvictAck || op == copEvictNack
+	}
+	return false
+}
 
 // pk packs four small signed fields into one event arg; unpk reverses it.
 // All protocol fields (request kinds, core/bank ids, private states, ack
@@ -44,9 +62,10 @@ const (
 	copInvAck               // invalidation ack collection: arg = (withData)
 	copFwd                  // forwarded request: arg = (kind, requester, bank, lengthened)
 	copInv                  // invalidation: arg = (ackTo, ackBank, withData)
-	copEvictAck             // eviction notice acknowledged
+	copEvictAck             // eviction notice acknowledged: arg = (seq)
 	copEvictNack            // eviction notice NACKed (block busy at home)
 	copTransmitEvict        // eviction retry timer
+	copReqTimeout           // fault-mode request retransmit timer: arg = (seq)
 )
 
 // OnEvent implements sim.Handler for a core tile.
@@ -76,11 +95,15 @@ func (c *coreNode) OnEvent(op int, addr uint64, arg int64) {
 		ackTo, ackBank, withData, _ := unpk(arg)
 		c.onInv(addr, int(ackTo), int(ackBank), withData != 0)
 	case copEvictAck:
-		c.onEvictAck(addr)
+		seq, _, _, _ := unpk(arg)
+		c.onEvictAck(addr, uint16(seq))
 	case copEvictNack:
 		c.onEvictNack(addr)
 	case copTransmitEvict:
 		c.transmitEvict(addr)
+	case copReqTimeout:
+		seq, _, _, _ := unpk(arg)
+		c.onReqTimeout(addr, uint16(seq))
 	default:
 		panic(fmt.Sprintf("core %d: unknown event op %d", c.id, op))
 	}
@@ -88,26 +111,27 @@ func (c *coreNode) OnEvent(op int, addr uint64, arg int64) {
 
 // Bank ops (bankNode.OnEvent).
 const (
-	bopHandleReq     = iota // demand request arrival: arg = (kind, core)
+	bopHandleReq     = iota // demand request arrival: arg = (kind, core, seq)
 	bopDispatch             // tag/data latency elapsed; txn fields carry the rest
 	bopRelease              // busy release after a two-hop commit
 	bopBusyClear            // three-hop completion: arg = (retained, dirty)
 	bopComplete             // requester-completion notification
 	bopBackInvAck           // back-invalidation acknowledgement
 	bopWbData               // dirty data retrieved by a back-invalidation
-	bopHandleEvict          // eviction notice arrival: arg = (kind, core)
+	bopHandleEvict          // eviction notice arrival: arg = (kind, core, seq)
 	bopFwdMiss              // forward found no copy: arg = (kind, requester, missedAt)
 	bopMemReadArrive        // fetch request reached the memory tile
 	bopMemReadData          // DRAM read complete; data departs for the bank
 	bopMemFetchDone         // fetched block arrived back at the bank
+	bopTxnCheck             // fault-mode transaction age check: arg = generation
 )
 
 // OnEvent implements sim.Handler for an LLC bank.
 func (b *bankNode) OnEvent(op int, addr uint64, arg int64) {
 	switch op {
 	case bopHandleReq:
-		kind, core, _, _ := unpk(arg)
-		b.handleReq(addr, proto.ReqKind(kind), int(core))
+		kind, core, seq, _ := unpk(arg)
+		b.handleReq(addr, proto.ReqKind(kind), int(core), uint16(seq))
 	case bopDispatch:
 		t, _ := b.busy.Get(addr)
 		if t == nil {
@@ -126,8 +150,8 @@ func (b *bankNode) OnEvent(op int, addr uint64, arg int64) {
 	case bopWbData:
 		b.onWbData(addr)
 	case bopHandleEvict:
-		kind, core, _, _ := unpk(arg)
-		b.handleEvict(addr, proto.ReqKind(kind), int(core))
+		kind, core, seq, _ := unpk(arg)
+		b.handleEvict(addr, proto.ReqKind(kind), int(core), uint16(seq))
 	case bopFwdMiss:
 		kind, requester, missedAt, _ := unpk(arg)
 		b.onFwdMiss(addr, proto.ReqKind(kind), int(requester), int(missedAt))
@@ -137,6 +161,8 @@ func (b *bankNode) OnEvent(op int, addr uint64, arg int64) {
 		b.sys.net.SendEvent(b.sys.memTile(addr), b.id, mesh.DataBytes, mesh.Processor, b, bopMemFetchDone, addr, 0)
 	case bopMemFetchDone:
 		b.memFetchDone(addr)
+	case bopTxnCheck:
+		b.onTxnCheck(addr, uint64(arg))
 	default:
 		panic(fmt.Sprintf("bank %d: unknown event op %d", b.id, op))
 	}

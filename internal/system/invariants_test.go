@@ -1,21 +1,11 @@
 package system
 
 // The protocol invariant checker promised by DESIGN.md §7: random stress
-// traces are replayed against a golden per-block reference state machine
-// that follows every retirement and invalidation in event order. The
-// golden machine is value-based — each block carries a version tag that
-// every store bumps — so it catches lost invalidations and lost writes
-// that aggregate metrics and end-state checks would hide:
-//
-//   - at most one exclusive (E/M) writer: a store retiring while any
-//     other core's copy is live is a violation, as is an E/M grant;
-//   - exact sharer sets at quiescence (full-map schemes track no
-//     phantom sharers, and no actual holder goes untracked);
-//   - no lost writes: a private-cache hit must observe the current
-//     version tag — a stale hit means an invalidation never arrived;
-//   - every lengthened access really was corrupted-shared: the LLC line
-//     charged with a three-hop critical path must actually hold its
-//     coherence state in borrowed data bits.
+// traces are replayed against the golden per-block reference state machine
+// (GoldenChecker, golden.go) that follows every retirement and
+// invalidation in event order, then the end state is cross-checked
+// (exact sharer sets at quiescence: full-map schemes track no phantom
+// sharers, and no actual holder goes untracked).
 
 import (
 	"fmt"
@@ -24,95 +14,7 @@ import (
 	"tinydir/internal/core"
 	"tinydir/internal/dir"
 	"tinydir/internal/proto"
-	"tinydir/internal/trace"
 )
-
-// goldenBlock is the reference state of one block: a version tag bumped
-// by every store, and the version each core's live copy reflects.
-type goldenBlock struct {
-	version uint64
-	seen    map[int]uint64
-}
-
-// goldenChecker implements Observer by simulating every block's legal
-// state alongside the real protocol.
-type goldenChecker struct {
-	blocks     map[uint64]*goldenBlock
-	violations []string
-
-	retires    uint64
-	lengthened uint64
-
-	// allowUncorruptedLengthened relaxes the corrupted-shared check for
-	// tests that force the three-hop path on schemes whose LLC lines are
-	// never corrupted (the phantom-sharer replay below).
-	allowUncorruptedLengthened bool
-}
-
-func newGoldenChecker() *goldenChecker {
-	return &goldenChecker{blocks: map[uint64]*goldenBlock{}}
-}
-
-func (g *goldenChecker) block(addr uint64) *goldenBlock {
-	b := g.blocks[addr]
-	if b == nil {
-		b = &goldenBlock{seen: map[int]uint64{}}
-		g.blocks[addr] = b
-	}
-	return b
-}
-
-func (g *goldenChecker) failf(format string, args ...interface{}) {
-	if len(g.violations) < 20 {
-		g.violations = append(g.violations, fmt.Sprintf(format, args...))
-	}
-}
-
-func (g *goldenChecker) Retire(core int, addr uint64, kind trace.Kind, fill, excl bool) {
-	g.retires++
-	b := g.block(addr)
-	switch {
-	case kind == trace.Store:
-		// The writer must be alone: every other live copy should have
-		// been invalidated before the store completed.
-		for c := range b.seen {
-			if c != core {
-				g.failf("store by core %d to %#x completed with a live copy at core %d", core, addr, c)
-			}
-		}
-		b.version++
-		b.seen = map[int]uint64{core: b.version}
-	case fill:
-		if excl {
-			for c := range b.seen {
-				if c != core {
-					g.failf("exclusive grant of %#x to core %d with a live copy at core %d", addr, core, c)
-				}
-			}
-		}
-		b.seen[core] = b.version
-	default:
-		// Load/ifetch hit: the copy must exist and be current.
-		v, ok := b.seen[core]
-		switch {
-		case !ok:
-			g.failf("core %d hit on %#x without a live copy", core, addr)
-		case v != b.version:
-			g.failf("lost write: core %d read version %d of %#x, current is %d", core, v, addr, b.version)
-		}
-	}
-}
-
-func (g *goldenChecker) Invalidate(core int, addr uint64) {
-	delete(g.block(addr).seen, core)
-}
-
-func (g *goldenChecker) Lengthened(addr uint64, corrupted bool) {
-	g.lengthened++
-	if !corrupted && !g.allowUncorruptedLengthened {
-		g.failf("lengthened access charged to %#x but the LLC line is not corrupted-shared", addr)
-	}
-}
 
 // invariantSchemes builds every tracker organization under test, sized
 // small so directory pressure, spills and back-invalidations all occur.
@@ -177,7 +79,7 @@ func TestProtocolInvariants(t *testing.T) {
 					cfg.L1Sets, cfg.L1Ways = 4, 2
 					cfg.L2Sets, cfg.L2Ways = 8, 2
 					cfg.NewTracker = sch.mk(cfg)
-					g := newGoldenChecker()
+					g := NewGoldenChecker()
 					cfg.Observer = g
 					refs := 900
 					blocks := 12 * cores // enough contention per bank
@@ -248,8 +150,8 @@ func TestPhantomSharerForwardMissRestart(t *testing.T) {
 				cfg.NewTracker = func(int) proto.Tracker {
 					return threeHopShared{dir.NewSparseWithFormat(8, dir.LimitedPtr{K: 2})}
 				}
-				g := newGoldenChecker()
-				g.allowUncorruptedLengthened = true
+				g := NewGoldenChecker()
+				g.AllowUncorruptedLengthened = true
 				cfg.Observer = g
 				refs := 900
 				blocks := 12 * cores
@@ -289,7 +191,7 @@ func TestLengthenedAccountingIsCorruptedOnly(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			cfg := TestConfig(16)
 			cfg.NewTracker = mk
-			g := newGoldenChecker()
+			g := NewGoldenChecker()
 			cfg.Observer = g
 			sys := New(cfg, testTraces(16, 2500, "barnes"))
 			m := sys.Run(1_000_000_000)

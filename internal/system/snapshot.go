@@ -37,6 +37,10 @@ const (
 	secDram    = 4
 	secCores   = 5
 	secBanks   = 6
+	// secFault is present only when fault injection is active; the fault
+	// configuration is part of the context digest, so saver and restorer
+	// always agree on whether it exists.
+	secFault = 7
 )
 
 // StateDigest hashes everything that must match between the saving and the
@@ -51,6 +55,11 @@ func (s *System) StateDigest() [32]byte {
 		cfg.Cores, cfg.L1Sets, cfg.L1Ways, cfg.L2Sets, cfg.L2Ways, cfg.LLCSets, cfg.LLCWays,
 		cfg.MemChannels, cfg.L1Lat, cfg.L2Lat, cfg.LLCTagLat, cfg.LLCDataLat, cfg.NackRetry,
 		cfg.ModelContention, s.banks[0].tracker.Name())
+	if s.flt != nil {
+		// The fault configuration changes event order, so it is part of
+		// the machine identity (fault-free machines hash as before).
+		fmt.Fprintf(h, "faults=%+v\n", cfg.Faults)
+	}
 	var buf [11]byte
 	for _, c := range s.cores {
 		binary.LittleEndian.PutUint64(buf[:8], uint64(len(c.refs)))
@@ -188,6 +197,15 @@ func (s *System) Save(out io.Writer) error {
 		b.saveState(w)
 	}
 
+	if s.flt != nil {
+		w.Section(secFault)
+		st := s.flt.SaveState()
+		w.Int(len(st))
+		for _, v := range st {
+			w.U64(v)
+		}
+	}
+
 	return w.Finish(out)
 }
 
@@ -280,6 +298,27 @@ func (s *System) Restore(in io.Reader) error {
 		}
 	}
 
+	if s.flt != nil {
+		r.Section(secFault)
+		n := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("system: negative fault state length %d", n)
+		}
+		st := make([]uint64, n)
+		for i := range st {
+			st[i] = r.U64()
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if !s.flt.LoadState(st) {
+			return fmt.Errorf("system: malformed fault injector state")
+		}
+	}
+
 	return r.Err()
 }
 
@@ -359,17 +398,23 @@ func (c *coreNode) saveState(w *snapshot.Writer) {
 		w.Int(o.dataMode)
 		w.Bool(o.notifyHome)
 		w.Bool(o.done)
+		w.Int(int(o.seq))
+		w.Int(int(o.xmits))
 	} else {
 		w.Bool(false)
 	}
+	w.Int(int(c.reqSeq))
+	w.Int(int(c.evictSeq))
 	cache.SaveState(w, c.l1i, putPrivMeta)
 	cache.SaveState(w, c.l1d, putPrivMeta)
 	cache.SaveState(w, c.l2, putPrivMeta)
 	w.Int(c.evictBuf.Len())
 	for _, a := range sortedBlockmapAddrs(&c.evictBuf) {
-		st, _ := c.evictBuf.Get(a)
+		e, _ := c.evictBuf.Get(a)
 		w.U64(a)
-		w.Int(int(st))
+		w.Int(int(e.st))
+		w.Int(int(e.seq))
+		w.Int(int(e.xmits))
 	}
 	w.Int(c.pendingFwd.Len())
 	for _, a := range sortedBlockmapAddrs(&c.pendingFwd) {
@@ -411,9 +456,13 @@ func (c *coreNode) loadState(r *snapshot.Reader) error {
 			notifyHome: r.Bool(),
 			done:       r.Bool(),
 		}
+		c.out.seq = uint16(r.Int())
+		c.out.xmits = uint8(r.Int())
 	} else {
 		c.out = nil
 	}
+	c.reqSeq = uint16(r.Int())
+	c.evictSeq = uint16(r.Int())
 	if err := cache.LoadState(r, c.l1i, getPrivMeta); err != nil {
 		return err
 	}
@@ -426,7 +475,7 @@ func (c *coreNode) loadState(r *snapshot.Reader) error {
 	clearBlockmap(&c.evictBuf)
 	for i, n := 0, r.Int(); i < n && r.Err() == nil; i++ {
 		a := r.U64()
-		c.evictBuf.Put(a, privState(r.Int()))
+		c.evictBuf.Put(a, evictEntry{st: privState(r.Int()), seq: uint16(r.Int()), xmits: uint8(r.Int())})
 	}
 	clearBlockmap(&c.pendingFwd)
 	for i, n := 0, r.Int(); i < n && r.Err() == nil; i++ {
@@ -467,6 +516,15 @@ func (b *bankNode) saveState(w *snapshot.Writer) {
 		w.Bool(t.view.NeedBroadcast)
 		w.Int(int(t.grant))
 		proto.PutVec(w, t.fwdExcl)
+		w.U64(t.gen)
+	}
+	if b.reqSeen != nil {
+		// Fault mode (matched on restore via the digested fault config).
+		w.U64(b.txnGen)
+		for i := range b.reqSeen {
+			w.I64(int64(b.reqSeen[i]))
+			w.I64(int64(b.evictSeen[i]))
+		}
 	}
 	b.tracker.SaveState(w)
 }
@@ -494,7 +552,15 @@ func (b *bankNode) loadState(r *snapshot.Reader) error {
 		}
 		t.grant = privState(r.Int())
 		t.fwdExcl = proto.GetVec(r)
+		t.gen = r.U64()
 		b.busy.Put(a, t)
+	}
+	if b.reqSeen != nil {
+		b.txnGen = r.U64()
+		for i := range b.reqSeen {
+			b.reqSeen[i] = int32(r.I64())
+			b.evictSeen[i] = int32(r.I64())
+		}
 	}
 	if err := r.Err(); err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"tinydir/internal/bitvec"
 	"tinydir/internal/cache"
 	"tinydir/internal/dram"
+	"tinydir/internal/fault"
 	"tinydir/internal/mesh"
 	"tinydir/internal/obs"
 	"tinydir/internal/proto"
@@ -28,6 +29,12 @@ type System struct {
 
 	obs Observer
 
+	// flt is the fault injector (nil when fault injection is off; see
+	// DESIGN.md §10). Component ids partition its PRNG streams: mesh
+	// source nodes use [0, Cores), bank ECC checkers [Cores, 2*Cores),
+	// DRAM channels [2*Cores, 2*Cores+MemChannels).
+	flt *fault.Injector
+
 	// Time-resolved observability (nil when disabled; see obs.go).
 	rec        *obs.Recorder
 	epochEvery uint64
@@ -47,10 +54,19 @@ func New(cfg Config, traces [][]trace.Ref) *System {
 		panic("system: trace count != cores")
 	}
 	s := &System{cfg: cfg, eng: &sim.Engine{}, obs: cfg.Observer}
+	s.flt = fault.New(cfg.Faults, 2*cfg.Cores+cfg.MemChannels)
 	w, h := meshDims(cfg.Cores)
 	s.net = mesh.New(s.eng, mesh.Config{Width: w, Height: h, ModelContention: cfg.ModelContention})
 	s.maxDist = w + h
+	if s.flt != nil {
+		s.net.Faults = s.flt
+		s.net.Droppable = faultDroppable
+	}
 	s.mem = dram.New(s.eng, cfg.MemChannels)
+	if s.flt != nil {
+		s.mem.Faults = s.flt
+		s.mem.FaultComp = 2 * cfg.Cores
+	}
 	// Memory controllers sit on evenly spaced tiles.
 	for ch := 0; ch < cfg.MemChannels; ch++ {
 		s.memTiles = append(s.memTiles, ch*(cfg.Cores/cfg.MemChannels))
@@ -68,6 +84,11 @@ func New(cfg Config, traces [][]trace.Ref) *System {
 // Engine exposes the event engine (tests drive it directly).
 func (s *System) Engine() *sim.Engine { return s.eng }
 
+// FaultInjector returns the active fault injector, or nil when fault
+// injection is off. Soak tests read its Stats to assert that faults
+// actually fired during a run.
+func (s *System) FaultInjector() *fault.Injector { return s.flt }
+
 // bankOf returns the home bank of a block address.
 func (s *System) bankOf(addr uint64) *bankNode {
 	return s.banks[int(addr%uint64(s.cfg.Cores))]
@@ -79,18 +100,38 @@ func (s *System) memTile(addr uint64) int {
 }
 
 // findHolders is the broadcast oracle: the actual private holders of a
-// block, as snoop responses would report them.
+// block, as snoop responses would report them. Cache-resident copies take
+// precedence over eviction-buffer copies: once the home bank has processed
+// an eviction notice, the evicting core's buffered copy is dead, but a
+// lost acknowledgement (fault mode) leaves the slot alive until the
+// retransmit handshake clears it. Electing such a stale buffer as owner
+// would shadow the true holder — the block may have been re-granted and
+// rewritten since — so a buffered E/M copy only establishes ownership when
+// no core holds the block in cache, and joins the sharer set otherwise.
 func (s *System) findHolders(addr uint64) proto.Entry {
 	var sharers []int
+	bufOwner := -1
 	for _, c := range s.cores {
-		switch c.holds(addr) {
+		st, buffered := c.probe(addr)
+		switch st {
 		case psE, psM:
-			return proto.Entry{State: proto.Exclusive, Owner: c.id}
+			if !buffered {
+				return proto.Entry{State: proto.Exclusive, Owner: c.id}
+			}
+			if bufOwner < 0 {
+				bufOwner = c.id
+			}
+			sharers = append(sharers, c.id)
 		case psS:
 			sharers = append(sharers, c.id)
 		}
 	}
-	if len(sharers) == 0 {
+	switch {
+	case bufOwner >= 0 && len(sharers) == 1:
+		// The buffered copy is the only one anywhere: the notice is (at
+		// worst) in flight and the buffer holds the live data.
+		return proto.Entry{State: proto.Exclusive, Owner: bufOwner}
+	case len(sharers) == 0:
 		return proto.Entry{State: proto.Unowned}
 	}
 	v := bitvec.New(s.cfg.Cores)
@@ -112,6 +153,12 @@ func (s *System) coreFinished() {
 			}
 		}
 		s.metrics.Cycles = uint64(last)
+		if s.rec != nil && s.rec.Watchdog != nil {
+			// Remaining events are drain (writebacks, stale retransmit
+			// timers): no further retirements can happen, so an armed
+			// watchdog would eventually misfire on the silence.
+			s.rec.Watchdog.Disarm()
+		}
 	}
 }
 
@@ -166,6 +213,9 @@ func (s *System) collect() {
 	m.Tracker = map[string]uint64{}
 	for _, b := range s.banks {
 		b.tracker.Metrics(m.Tracker)
+	}
+	if s.flt != nil {
+		s.flt.Metrics(m.Tracker)
 	}
 	for cl := mesh.TrafficClass(0); cl < mesh.NumClasses; cl++ {
 		m.TrafficBytes[cl] = s.net.TrafficBytes(cl)

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +31,7 @@ type Reporter struct {
 	planned int
 	done    int
 	served  int // done runs answered from the store without simulating
+	failed  int // done runs that panicked and were quarantined
 	active  map[string]*obs.EpochSampler
 }
 
@@ -87,6 +89,24 @@ func (r *Reporter) runDone(app, scheme string, simulated bool, d time.Duration) 
 	fmt.Fprintf(r.w, "  done    %-14s %-28s %8s %s\n", app, scheme, d.Round(time.Millisecond), suffix)
 }
 
+// runFailed retires a quarantined run. The failure still counts toward
+// done (the sweep's plan shrinks by it), and the line points at the
+// quarantine artifact when one was written.
+func (r *Reporter) runFailed(app, scheme, msg, artifact string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.active, app+" "+scheme)
+	r.done++
+	r.failed++
+	if r.w == nil {
+		return
+	}
+	fmt.Fprintf(r.w, "  FAILED  %-14s %-28s %s\n", app, scheme, msg)
+	if artifact != "" {
+		fmt.Fprintf(r.w, "          quarantined: %s\n", artifact)
+	}
+}
+
 // etaLocked estimates time to finish the planned runs from sweep
 // throughput so far. Callers hold mu.
 func (r *Reporter) etaLocked() (time.Duration, bool) {
@@ -128,6 +148,7 @@ type SweepStatus struct {
 	Planned int
 	Done    int
 	Served  int // answered from the run store without simulating
+	Failed  int // panicked and quarantined
 	Elapsed time.Duration
 	ETA     time.Duration // 0 when unknown
 	Active  []ActiveRun
@@ -142,6 +163,7 @@ func (r *Reporter) Snapshot() SweepStatus {
 		Planned: r.planned,
 		Done:    r.done,
 		Served:  r.served,
+		Failed:  r.failed,
 		Elapsed: time.Since(r.start).Round(time.Millisecond),
 	}
 	if eta, ok := r.etaLocked(); ok {
@@ -205,19 +227,89 @@ func (s *Suite) writeObsArtifacts(o Options, rec *ObsRecorder, rep *Reporter) {
 
 // executeRun performs one simulation with progress reporting and
 // observability attachment — the one code path behind both the serial
-// figure builder and the prefetch workers.
+// figure builder and the prefetch workers. A run that panics (a protocol
+// deadlock, a blown wall-clock deadline, a plain bug) is quarantined: its
+// state is dumped to an artifact under ObsDir, the failure is recorded for
+// Failures(), and the sweep continues with a zero Result in that slot.
 func (s *Suite) executeRun(o Options) (Result, bool) {
 	rep := s.Monitor()
 	rec := s.newRecorder(rep)
 	o.Obs = rec
+	if s.RunTimeout > 0 && o.Timeout == 0 {
+		o.Timeout = s.RunTimeout
+	}
 	rep.runStarted(o.App.Name, o.Scheme.String(), sampler(rec))
 	start := time.Now()
-	r, simulated := runWithStore(o, s.Store, s.Resume)
+	r, simulated, failure := s.guardedRun(o)
+	if failure != nil {
+		f := RunFailure{App: o.App.Name, Scheme: o.Scheme.String(), Err: failure.msg}
+		f.Artifact = s.quarantine(o, failure)
+		s.sh.mu.Lock()
+		s.sh.failures = append(s.sh.failures, f)
+		s.sh.mu.Unlock()
+		rep.runFailed(o.App.Name, o.Scheme.String(), f.Err, f.Artifact)
+		return Result{App: o.App.Name, Scheme: o.Scheme.String()}, false
+	}
 	if simulated {
 		s.writeObsArtifacts(o, rec, rep)
 	}
 	rep.runDone(o.App.Name, o.Scheme.String(), simulated, time.Since(start))
 	return r, simulated
+}
+
+// runPanic is a caught run failure: the panic value, the goroutine stack
+// at the panic, and the stalled-machine dump when the panic carried one.
+type runPanic struct {
+	msg   string
+	dump  string
+	stack []byte
+}
+
+// guardedRun isolates one simulation behind a recover so a panicking run
+// cannot take down its prefetch worker (and with it the whole sweep).
+func (s *Suite) guardedRun(o Options) (r Result, simulated bool, failure *runPanic) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		failure = &runPanic{msg: fmt.Sprint(p), stack: debug.Stack()}
+		if te, ok := p.(*RunTimeoutError); ok {
+			failure.dump = te.Dump
+		}
+	}()
+	r, simulated = runWithStore(o, s.Store, s.Resume)
+	return r, simulated, nil
+}
+
+// quarantine writes a failed run's post-mortem — options, error, stalled
+// machine dump, stack — to <ObsDir>/quarantine/<base>.txt and returns the
+// path ("" when ObsDir is unset or the write fails; the failure itself is
+// still recorded either way).
+func (s *Suite) quarantine(o Options, p *runPanic) string {
+	if s.ObsDir == "" {
+		return ""
+	}
+	dir := filepath.Join(s.ObsDir, "quarantine")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.Monitor().printf("  quarantine: %v\n", err)
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "quarantined run: %s %s scale=%s\n", o.App.Name, o.Scheme, o.Scale.Name)
+	fmt.Fprintf(&b, "options: scheme=%+v scale=%+v maxevents=%d fault-rate=%g fault-seed=%d timeout=%s\n",
+		o.Scheme, o.Scale, o.MaxEvents, o.FaultRate, o.FaultSeed, o.Timeout)
+	fmt.Fprintf(&b, "error: %s\n", p.msg)
+	if p.dump != "" {
+		fmt.Fprintf(&b, "\nstalled machine state:\n%s", p.dump)
+	}
+	fmt.Fprintf(&b, "\nstack:\n%s", p.stack)
+	path := filepath.Join(dir, obsFileBase(o.App.Name, o.Scheme, o.Scale)+".txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		s.Monitor().printf("  quarantine: %v\n", err)
+		return ""
+	}
+	return path
 }
 
 // writeObsFiles writes the enabled artifacts for one recorder to

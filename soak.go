@@ -1,0 +1,172 @@
+package tinydir
+
+// Seeded soak harness for the fault-injection layer (DESIGN.md §10): run
+// the same workload across many fault seeds per scheme and hold every run
+// to the full survival contract — it drains, the golden reference machine
+// (internal/system.GoldenChecker) sees zero invariant violations, the end
+// state is coherent, and every core retires exactly the references the
+// fault-free baseline does. Any shortfall (including a deadlock panic out
+// of Complete, or a blown wall-clock deadline) is one recorded failure;
+// the soak always finishes the sweep.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tinydir/internal/fault"
+	"tinydir/internal/system"
+	"tinydir/internal/trace"
+)
+
+// SoakOptions configures a fault-injection soak sweep.
+type SoakOptions struct {
+	// Seeds is the number of fault seeds per scheme; run i uses
+	// FaultSeed + i, so a failing seed replays in isolation.
+	Seeds int
+	// FaultRate is the uniform fault rate (see internal/fault.Uniform);
+	// must be > 0 — soaking a fault-free machine proves nothing.
+	FaultRate float64
+	// FaultSeed is the base PRNG seed (default 1).
+	FaultSeed uint64
+	// Scale selects the machine (zero value = ScaleTest: the soak's value
+	// is seed count, not machine size).
+	Scale Scale
+	// App names the workload profile ("" = barnes, a contended one).
+	App string
+	// Timeout bounds each run's wall clock (0 = none); a run exceeding it
+	// fails with a RunTimeoutError instead of wedging the soak.
+	Timeout time.Duration
+}
+
+// SoakRun is one (scheme, seed) soak outcome.
+type SoakRun struct {
+	Scheme  string
+	Seed    uint64
+	Retires uint64
+	Err     string // "" = the run met the full survival contract
+}
+
+// SoakReport aggregates a soak sweep.
+type SoakReport struct {
+	Runs     []SoakRun
+	Failures int
+	// Stats sums the fault counters over every run, proving the
+	// machinery was exercised (all-zero drops at a nonzero rate means a
+	// dead injection path, which Soak itself reports as a failure).
+	Stats fault.Stats
+}
+
+// soakSchemes is the scheme set the soak sweeps: the sparse-directory
+// baseline, the paper's tiny directory, and the broadcast-recovering
+// stash — the three coherence-tracking shapes with distinct fault
+// recovery paths (full tracking, generational eviction, broadcast oracle).
+func soakSchemes() []Scheme {
+	return []Scheme{
+		SparseDirectory(0.5),
+		TinyDirectory(1.0/64, true, true),
+		Stash(0.25),
+	}
+}
+
+// Soak runs the sweep and reports per-run outcomes. progress may be nil.
+func Soak(o SoakOptions, progress io.Writer) SoakReport {
+	if o.Seeds <= 0 {
+		o.Seeds = 8
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = 1
+	}
+	if o.Scale.Cores == 0 {
+		o.Scale = ScaleTest
+	}
+	if o.App == "" {
+		o.App = "barnes"
+	}
+	app := App(o.App)
+	logf := func(format string, args ...interface{}) {
+		if progress != nil {
+			fmt.Fprintf(progress, format, args...)
+		}
+	}
+
+	var rep SoakReport
+	for _, sch := range soakSchemes() {
+		// Fault-free baseline: the retire count every faulted run must
+		// reproduce exactly (faults may delay references, never eat them).
+		base, _, err := soakOne(app, sch, o.Scale, fault.Config{}, o.Timeout)
+		if err != nil {
+			rep.Runs = append(rep.Runs, SoakRun{Scheme: sch.String(), Err: "fault-free baseline: " + err.Error()})
+			rep.Failures++
+			logf("soak: %s: baseline FAILED: %v\n", sch, err)
+			continue
+		}
+		for i := 0; i < o.Seeds; i++ {
+			seed := o.FaultSeed + uint64(i)
+			run := SoakRun{Scheme: sch.String(), Seed: seed}
+			retires, stats, err := soakOne(app, sch, o.Scale, fault.Uniform(seed, o.FaultRate), o.Timeout)
+			run.Retires = retires
+			switch {
+			case err != nil:
+				run.Err = err.Error()
+			case retires != base:
+				run.Err = fmt.Sprintf("retired %d references, fault-free baseline retired %d", retires, base)
+			case stats.MeshDrops == 0 && stats.MeshDelays == 0 && stats.ECCDetected == 0 && stats.DRAMAborts == 0:
+				run.Err = fmt.Sprintf("no faults fired at rate %g: injection path dead", o.FaultRate)
+			}
+			addStats(&rep.Stats, stats)
+			if run.Err != "" {
+				rep.Failures++
+				logf("soak: %s seed %d FAILED: %s\n", sch, seed, run.Err)
+			}
+			rep.Runs = append(rep.Runs, run)
+		}
+		logf("soak: %s: %d seeds done\n", sch, o.Seeds)
+	}
+	return rep
+}
+
+// soakOne executes one run under the golden reference machine and checks
+// the whole survival contract, converting panics (deadlock detection,
+// wall-clock deadlines) into errors so a wedged seed is one failure line.
+func soakOne(app Profile, sch Scheme, sc Scale, fcfg fault.Config, timeout time.Duration) (retires uint64, stats fault.Stats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("run panicked: %v", p)
+		}
+	}()
+	cfg := sc.machine()
+	cfg.NewTracker = sch.newTracker(cfg)
+	cfg.Faults = fcfg
+	g := system.NewGoldenChecker()
+	cfg.Observer = g
+	sys := system.New(cfg, trace.NewGen(app, cfg.Cores).Traces(sc.Refs))
+	sys.Start()
+	completeBounded(sys, Options{App: app, Scheme: sch, MaxEvents: 4_000_000_000, Timeout: timeout}, time.Now())
+	if flt := sys.FaultInjector(); flt != nil {
+		stats = flt.Stats
+	}
+	if v := g.Violations(); len(v) > 0 {
+		return g.Retires(), stats, fmt.Errorf("%d golden-machine violations, first: %s", len(v), v[0])
+	}
+	if bad := sys.CheckCoherence(false); len(bad) > 0 {
+		return g.Retires(), stats, fmt.Errorf("%d end-state violations, first: %s", len(bad), bad[0])
+	}
+	return g.Retires(), stats, nil
+}
+
+// addStats accumulates src into dst field by field.
+func addStats(dst *fault.Stats, src fault.Stats) {
+	dst.MeshDelays += src.MeshDelays
+	dst.MeshDrops += src.MeshDrops
+	dst.MeshDups += src.MeshDups
+	dst.ECCDetected += src.ECCDetected
+	dst.ECCInvals += src.ECCInvals
+	dst.DRAMAborts += src.DRAMAborts
+	dst.ReqTimeouts += src.ReqTimeouts
+	dst.EvictRetransmits += src.EvictRetransmits
+	dst.DupReqs += src.DupReqs
+	dst.DupEvicts += src.DupEvicts
+	dst.StaleEvictAcks += src.StaleEvictAcks
+	dst.BankTxnLate += src.BankTxnLate
+}

@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"tinydir/internal/fault"
 	"tinydir/internal/snapshot"
 	"tinydir/internal/system"
 	"tinydir/internal/trace"
@@ -34,7 +36,9 @@ import (
 
 // storeFormatVersion invalidates stored results when the Result layout or
 // the simulation's observable behavior changes incompatibly.
-const storeFormatVersion = 1
+//
+// v2: keys carry the fault-injection configuration (rate + seed).
+const storeFormatVersion = 2
 
 // RunStore is a directory-backed cache of simulation results and warmup
 // checkpoints. The zero value is not usable; construct with NewRunStore.
@@ -84,6 +88,7 @@ func (s *RunStore) Key(o Options) string {
 	fmt.Fprintf(h, "scale name=%s cores=%d refs=%d halved=%v\n",
 		o.Scale.Name, o.Scale.Cores, o.Scale.Refs, o.Scale.HalveHierarchy)
 	fmt.Fprintf(h, "maxevents=%d\n", o.MaxEvents)
+	fmt.Fprintf(h, "fault rate=%g seed=%d\n", o.FaultRate, o.FaultSeed)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -95,26 +100,37 @@ func (s *RunStore) checkpointPath(key string) string {
 	return filepath.Join(s.root, "checkpoints", key+".snap")
 }
 
-// GetResult returns the stored result for key, if present.
+// storeWarn reports non-fatal store damage (swapped out by tests).
+var storeWarn = func(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "runstore: warning: "+format+"\n", args...)
+}
+
+// GetResult returns the stored result for key, if present. An unreadable
+// or corrupt (e.g. truncated by a crash predating atomic writes, or
+// hand-damaged) entry is a cache miss with a warning, never a sweep
+// failure: the run simply re-simulates and PutResult replaces the debris.
 func (s *RunStore) GetResult(key string) (Result, bool, error) {
 	b, err := os.ReadFile(s.resultPath(key))
 	if errors.Is(err, os.ErrNotExist) {
 		return Result{}, false, nil
 	}
 	if err != nil {
-		return Result{}, false, fmt.Errorf("runstore: %w", err)
+		storeWarn("unreadable result %s, treating as a miss: %v", key, err)
+		return Result{}, false, nil
 	}
 	var r Result
 	if err := json.Unmarshal(b, &r); err != nil {
-		return Result{}, false, fmt.Errorf("runstore: corrupt result %s: %w", key, err)
+		storeWarn("corrupt result %s (%v), treating as a miss", key, err)
+		return Result{}, false, nil
 	}
 	return r, true, nil
 }
 
-// PutResult stores r under key. If the key already holds a result, the
-// bytes must match exactly: a mismatch means a key collision or a
+// PutResult stores r under key. If the key already holds a valid result,
+// the bytes must match exactly: a mismatch means a key collision or a
 // nondeterministic simulation, and fails loudly rather than papering over
-// it.
+// it. A corrupt existing entry (the one GetResult warned about) is simply
+// replaced.
 func (s *RunStore) PutResult(key string, r Result) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -123,10 +139,14 @@ func (s *RunStore) PutResult(key string, r Result) error {
 	data = append(data, '\n')
 	path := s.resultPath(key)
 	if old, err := os.ReadFile(path); err == nil {
-		if !bytes.Equal(old, data) {
+		if bytes.Equal(old, data) {
+			return nil
+		}
+		var stale Result
+		if json.Unmarshal(old, &stale) == nil {
 			return fmt.Errorf("runstore: refusing to overwrite %s: stored result differs from the new run (key collision or nondeterministic simulation)", key)
 		}
-		return nil
+		storeWarn("replacing corrupt result %s", key)
 	}
 	return writeFileAtomic(path, data)
 }
@@ -212,10 +232,14 @@ func runWithStore(o Options, store *RunStore, resume bool) (Result, bool) {
 		cfg := o.Scale.machine()
 		cfg.NewTracker = o.Scheme.newTracker(cfg)
 		cfg.Recorder = o.Obs
+		if o.FaultRate > 0 {
+			cfg.Faults = fault.Uniform(o.FaultSeed, o.FaultRate)
+		}
 		gen := trace.NewGen(o.App, cfg.Cores)
 		return system.New(cfg, gen.Traces(o.Scale.Refs))
 	}
 
+	start := time.Now()
 	var m Metrics
 	switch {
 	case store == nil || o.Obs != nil:
@@ -225,9 +249,11 @@ func runWithStore(o Options, store *RunStore, resume bool) (Result, bool) {
 		// spans. The Result still flows through the store below, and
 		// PutResult's byte-compare doubles as a check that recording left
 		// the metrics untouched.
-		m = build().Run(o.MaxEvents)
+		sys := build()
+		sys.Start()
+		m = completeBounded(sys, o, start)
 	default:
-		m = runCheckpointed(build, o, store, key)
+		m = runCheckpointed(build, o, store, key, start)
 	}
 	res := Result{App: o.App.Name, Scheme: o.Scheme.String(), Cores: o.Scale.machine().Cores, Metrics: m}
 	if store != nil {
@@ -241,11 +267,11 @@ func runWithStore(o Options, store *RunStore, resume bool) (Result, bool) {
 // runCheckpointed is the store-backed simulation path: restore from the
 // warmup checkpoint when one exists, otherwise run cold and leave one
 // behind.
-func runCheckpointed(build func() *system.System, o Options, store *RunStore, key string) Metrics {
+func runCheckpointed(build func() *system.System, o Options, store *RunStore, key string, start time.Time) Metrics {
 	if data, ok := store.readCheckpoint(key); ok {
 		sys := build()
 		if err := sys.Restore(bytes.NewReader(data)); err == nil {
-			return sys.Complete(o.MaxEvents)
+			return completeBounded(sys, o, start)
 		}
 		// Stale or corrupt checkpoint (e.g. the simulator changed under
 		// an old store dir): fall through to a cold run on an untouched
@@ -257,6 +283,54 @@ func runCheckpointed(build func() *system.System, o Options, store *RunStore, ke
 	var buf bytes.Buffer
 	if err := sys.Save(&buf); err == nil {
 		store.writeCheckpoint(key, buf.Bytes()) // best-effort: a failure just means a cold start next time
+	}
+	return completeBounded(sys, o, start)
+}
+
+// RunTimeoutError is the panic value of a run that blew its wall-clock
+// Timeout. It carries the stalled-machine dump so a quarantined failure is
+// debuggable from its artifact alone.
+type RunTimeoutError struct {
+	App, Scheme string
+	Elapsed     time.Duration
+	Dump        string // DumpStall of the machine at the deadline
+}
+
+func (e *RunTimeoutError) Error() string {
+	return fmt.Sprintf("run %s/%s exceeded its %s wall-clock deadline", e.App, e.Scheme, e.Elapsed.Round(time.Millisecond))
+}
+
+// deadlineChunk is how many events run between wall-clock checks on a
+// deadline-bounded run: large enough that the check is free, small enough
+// that a wedged simulation is caught within a fraction of a second.
+const deadlineChunk = 1 << 16
+
+// completeBounded finishes a started (or restored) system, enforcing o's
+// wall-clock Timeout by checking the clock every deadlineChunk events. The
+// unbounded path is exactly Complete — one engine call, no added work in
+// the hot loop.
+func completeBounded(sys *system.System, o Options, start time.Time) Metrics {
+	if o.Timeout <= 0 {
+		return sys.Complete(o.MaxEvents)
+	}
+	for {
+		budget := uint64(deadlineChunk)
+		if o.MaxEvents != 0 {
+			done := sys.Engine().Executed()
+			if done >= o.MaxEvents {
+				break
+			}
+			if rem := o.MaxEvents - done; rem < budget {
+				budget = rem
+			}
+		}
+		if sys.RunEvents(budget) < budget {
+			break // queue drained
+		}
+		if elapsed := time.Since(start); elapsed > o.Timeout {
+			panic(&RunTimeoutError{App: o.App.Name, Scheme: o.Scheme.String(),
+				Elapsed: elapsed, Dump: sys.DumpStall()})
+		}
 	}
 	return sys.Complete(o.MaxEvents)
 }

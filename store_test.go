@@ -1,6 +1,7 @@
 package tinydir
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -101,6 +102,8 @@ func TestRunStoreKeyDistinct(t *testing.T) {
 	add("scale.refs", func(o *Options) { o.Scale.Refs = 301 })
 	add("scale.halved", func(o *Options) { o.Scale.HalveHierarchy = true })
 	add("maxevents", func(o *Options) { o.MaxEvents = 123456 })
+	add("fault.rate", func(o *Options) { o.FaultRate = 0.02 })
+	add("fault.seed", func(o *Options) { o.FaultRate = 0.02; o.FaultSeed = 7 })
 
 	baseKey := store.Key(base)
 	seen := map[string]string{baseKey: "base"}
@@ -139,6 +142,62 @@ func TestRunStoreCollisionGuard(t *testing.T) {
 	got, ok, gerr := store.GetResult(key)
 	if gerr != nil || !ok || !reflect.DeepEqual(got, a) {
 		t.Errorf("original result damaged by refused overwrite: %+v ok=%v err=%v", got, ok, gerr)
+	}
+}
+
+// TestRunStoreTruncatedResultIsMiss: a truncated (or otherwise corrupt)
+// results/<key>.json entry is a cache miss with a warning — a resumed
+// sweep re-simulates and replaces the debris, never dies on it.
+func TestRunStoreTruncatedResultIsMiss(t *testing.T) {
+	store := testStore(t)
+	key := store.Key(storeTestOpts)
+	good := Result{App: "a", Scheme: "s", Cores: 16}
+	if err := store.PutResult(key, good); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(store.resultPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the entry like a pre-atomic-write crash would have.
+	if err := os.WriteFile(store.resultPath(key), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	defer func(orig func(string, ...interface{})) { storeWarn = orig }(storeWarn)
+	storeWarn = func(format string, args ...interface{}) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+
+	got, ok, gerr := store.GetResult(key)
+	if gerr != nil {
+		t.Fatalf("truncated result failed the lookup instead of missing: %v", gerr)
+	}
+	if ok {
+		t.Fatalf("truncated result served as a hit: %+v", got)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "corrupt result") {
+		t.Fatalf("no corruption warning on the miss: %q", warnings)
+	}
+
+	// The re-run's PutResult replaces the debris (no collision guard — the
+	// old bytes are not a valid result).
+	if err := store.PutResult(key, good); err != nil {
+		t.Fatalf("PutResult over truncated entry failed: %v", err)
+	}
+	got, ok, gerr = store.GetResult(key)
+	if gerr != nil || !ok || !reflect.DeepEqual(got, good) {
+		t.Fatalf("store not healed after rewrite: %+v ok=%v err=%v", got, ok, gerr)
+	}
+
+	// End-to-end: a resumed store-backed run across a truncated entry
+	// simulates and heals rather than failing.
+	if err := os.WriteFile(store.resultPath(key), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := RunWithStore(storeTestOpts, store, true)
+	if res.Metrics.Cycles == 0 {
+		t.Fatalf("resumed run over truncated entry produced no simulation: %+v", res)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tinydir/internal/core"
 	"tinydir/internal/dir"
@@ -313,6 +314,22 @@ type Options struct {
 	// serialized, and latency histograms must span the whole run). Obs does
 	// not contribute to the store key for the same reason.
 	Obs *ObsRecorder
+	// FaultRate > 0 arms the deterministic fault-injection layer (see
+	// internal/fault and DESIGN.md §10) at a uniform rate: mesh delay
+	// jitter, message drops and duplicates, ECC-detected tracker
+	// corruption and DRAM abort-and-retry, all drawn from a counter-based
+	// PRNG keyed by FaultSeed so one (rate, seed) pair replays
+	// bit-identically. Rate 0 is the documented off state — the run is
+	// bit-identical to one that never mentions faults. Both knobs are part
+	// of the store key: faulted runs never mix with clean ones.
+	FaultRate float64
+	FaultSeed uint64
+	// Timeout bounds the run's wall-clock time (0 = none). A run that
+	// exceeds it panics with a *RunTimeoutError carrying the stalled
+	// machine dump; inside a Suite sweep the panic is caught and the run
+	// quarantined (see RunFailure). Wall clock never affects simulated
+	// behavior, so Timeout is not part of the store key.
+	Timeout time.Duration
 }
 
 // Result is the outcome of one simulation.
