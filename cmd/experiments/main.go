@@ -34,7 +34,19 @@
 //
 //	experiments -soak 32                         # 32 seeds x {sparse, tiny, stash}
 //	experiments -soak 8 -fault-rate 0.05 -fault-seed 7
+//	experiments -soak 8 -soak-app worksteal      # pin the soak to one workload
 //	experiments -run-timeout 5m                  # deadline-bound every figure run
+//
+// By default the soak rotates seeds through barnes plus the five
+// workload families (falseshare, lockhome, ringbuf, worksteal,
+// multiprog); those families also have their own figure row
+// (-fig families).
+//
+// Externally captured traces (or tracegen -write output) replay through
+// the same machine via the trace-file path:
+//
+//	tracegen -app falseshare -cores 32 -write fs.trace
+//	experiments -trace-file fs.trace -scheme tiny -ratio 0.015625
 package main
 
 import (
@@ -54,7 +66,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", `figure id: 1..22, "halved", "format", "genlen", "window", or "all"`)
+		fig        = flag.String("fig", "all", `figure id: 1..22, "halved", "families", "format", "genlen", "window", or "all"`)
 		scale      = flag.String("scale", "experiment", "test | experiment | full")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -69,6 +81,10 @@ func main() {
 		watchdog   = flag.Uint64("watchdog", 0, "dump machine state when no core retires for this many cycles (0 = off)")
 		httpAddr   = flag.String("http", "", "serve the live sweep monitor (expvar + pprof) on this address")
 		soak       = flag.Int("soak", 0, "run a fault-injection soak over this many seeds per scheme instead of figures")
+		soakApp    = flag.String("soak-app", "", "pin -soak to one workload (default: rotate barnes + the five families)")
+		traceFile  = flag.String("trace-file", "", "replay a trace file (tracegen -write) through one scheme instead of figures")
+		schemeName = flag.String("scheme", "tiny", "tracking scheme for -trace-file: sparse | sharedonly | inllc | tiny | mgd | stash")
+		ratio      = flag.Float64("ratio", 1.0/64, "directory size ratio for -trace-file schemes that take one")
 		faultRate  = flag.Float64("fault-rate", 0.02, "uniform fault rate for -soak (see internal/fault)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "base PRNG seed for -soak; seed i of a sweep uses fault-seed+i")
 		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock deadline; a run exceeding it is quarantined (0 = none)")
@@ -122,7 +138,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *soak > 0 {
-		runSoak(sc, *soak, *faultRate, *faultSeed, *runTimeout, *quiet)
+		runSoak(sc, *soak, *soakApp, *faultRate, *faultSeed, *runTimeout, *quiet)
+		return
+	}
+	if *traceFile != "" {
+		runTraceFile(*traceFile, *schemeName, *ratio, *cacheDir, *resume, *runTimeout)
 		return
 	}
 
@@ -170,7 +190,7 @@ func main() {
 		// Stream figure by figure so partial results survive interrupts.
 		ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
 			"11", "12", "13", "14", "15", "16", "17", "18", "19", "20",
-			"21", "22", "halved"}
+			"21", "22", "halved", "families"}
 		for _, id := range ids {
 			f, err := suite.FigureByID(id)
 			if err != nil {
@@ -195,24 +215,77 @@ func main() {
 
 // runSoak executes the seeded fault-injection soak (see tinydir.Soak) and
 // exits nonzero if any run breaks the survival contract.
-func runSoak(sc tinydir.Scale, seeds int, rate float64, seed uint64, timeout time.Duration, quiet bool) {
+func runSoak(sc tinydir.Scale, seeds int, app string, rate float64, seed uint64, timeout time.Duration, quiet bool) {
 	var progress *os.File
 	if !quiet {
 		progress = os.Stderr
 	}
 	start := time.Now()
 	rep := tinydir.Soak(tinydir.SoakOptions{
-		Seeds: seeds, FaultRate: rate, FaultSeed: seed, Scale: sc, Timeout: timeout,
+		Seeds: seeds, FaultRate: rate, FaultSeed: seed, Scale: sc, App: app, Timeout: timeout,
 	}, progress)
 	fmt.Printf("soak: %d runs, %d failures in %s\n", len(rep.Runs), rep.Failures, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("soak: fault totals: %+v\n", rep.Stats)
 	if rep.Failures > 0 {
 		for _, r := range rep.Runs {
 			if r.Err != "" {
-				fmt.Printf("soak: FAILED %s seed %d: %s\n", r.Scheme, r.Seed, r.Err)
+				fmt.Printf("soak: FAILED %s seed %d (%s): %s\n", r.Scheme, r.Seed, r.App, r.Err)
 			}
 		}
 		os.Exit(1)
+	}
+}
+
+// parseScheme maps a -scheme name (+ -ratio) to a tracking scheme.
+func parseScheme(name string, ratio float64) (tinydir.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "sparse":
+		return tinydir.SparseDirectory(ratio), nil
+	case "sharedonly":
+		return tinydir.SharedOnlyDirectory(ratio, false), nil
+	case "inllc":
+		return tinydir.InLLC(false), nil
+	case "tiny":
+		return tinydir.TinyDirectory(ratio, true, true), nil
+	case "mgd":
+		return tinydir.MgD(ratio), nil
+	case "stash":
+		return tinydir.Stash(ratio), nil
+	}
+	return tinydir.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+}
+
+// runTraceFile replays one trace file through one scheme and prints the
+// run's headline metrics plus its tracker counters.
+func runTraceFile(path, schemeName string, ratio float64, cacheDir string, resume bool, timeout time.Duration) {
+	scheme, err := parseScheme(schemeName, ratio)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	tr, err := tinydir.LoadTraceFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	o := tinydir.Options{Trace: tr, Scheme: scheme, Timeout: timeout}
+	var store *tinydir.RunStore
+	if cacheDir != "" {
+		if store, err = tinydir.NewRunStore(cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	r := tinydir.RunWithStore(o, store, resume)
+	m := r.Metrics
+	fmt.Printf("trace %s (digest %.12s…): app=%s cores=%d scheme=%s\n",
+		path, tr.Digest, r.App, r.Cores, r.Scheme)
+	fmt.Printf("cycles=%d llcAccesses=%d llcMisses=%d dramReads=%d dramWrites=%d (%s)\n",
+		m.Cycles, m.LLCAccesses, m.LLCMisses, m.DRAMReads, m.DRAMWrites,
+		time.Since(start).Round(time.Millisecond))
+	for _, k := range tinydir.SortedTrackerKeys(m.Tracker) {
+		fmt.Printf("  %-28s %d\n", k, m.Tracker[k])
 	}
 }
 

@@ -1,10 +1,13 @@
 // Command tracegen characterizes the synthetic workload models: for each
-// application profile it reports the reference mix, footprints and
-// sharer-set structure, and optionally dumps a trace segment. Useful when
-// tuning profiles against the paper's per-application behaviour.
+// application profile (the 17 of Table II plus the five workload
+// families) it reports the reference mix, footprints and sharer-set
+// structure, and optionally dumps a trace segment or writes the full
+// trace to a versioned trace file (internal/tracefile) for replay via
+// `experiments -trace-file`.
 //
-//	tracegen                     # characterization table for all 17 apps
+//	tracegen                     # characterization table for all apps
 //	tracegen -app barnes -dump 20
+//	tracegen -app falseshare -cores 32 -write falseshare.trace
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"os"
 
 	"tinydir/internal/trace"
+	"tinydir/internal/tracefile"
 )
 
 func main() {
@@ -21,10 +25,11 @@ func main() {
 		cores   = flag.Int("cores", 32, "core count (sharer sets clamp to it)")
 		refs    = flag.Int("refs", 4000, "references per core to sample")
 		dump    = flag.Int("dump", 0, "print the first N references of core 0")
+		write   = flag.String("write", "", "write the generated trace (requires -app) to this file and print its digest")
 	)
 	flag.Parse()
 
-	apps := trace.Apps()
+	apps := append(trace.Apps(), trace.FamilyApps()...)
 	if *appName != "" {
 		p, ok := trace.AppByName(*appName)
 		if !ok {
@@ -32,6 +37,24 @@ func main() {
 			os.Exit(2)
 		}
 		apps = []trace.Profile{p}
+	}
+
+	if *write != "" {
+		if *appName == "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -write requires -app")
+			os.Exit(2)
+		}
+		p := apps[0]
+		g := trace.NewGen(p, *cores)
+		tf := &tracefile.File{Name: p.Name, Traces: g.Traces(*refs), Stats: g.Stats()}
+		digest, err := tracefile.WriteFile(*write, tf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: app=%s cores=%d refs=%d format=v%d\nsha256 %s\n",
+			*write, p.Name, *cores, *refs, tracefile.FormatVersion, digest)
+		return
 	}
 
 	fmt.Printf("%-12s %7s %7s %7s %8s %9s %8s %8s\n",

@@ -847,6 +847,43 @@ func (s *Suite) figHalved() Figure {
 	return f
 }
 
+// perFamily fills a series by evaluating fn for every workload-family
+// profile (the perApp analogue over FamilyApps).
+func (s *Suite) perFamily(name string, fn func(app Profile) float64) Series {
+	se := Series{Name: name, Values: map[string]float64{}}
+	for _, app := range FamilyApps() {
+		se.Values[app.Name] = fn(app)
+	}
+	return se
+}
+
+// FigFamilies compares the tracking schemes on the five specialized
+// workload families — the sharing extremes (falsely-shared lines, hot
+// home banks, producer-consumer migration, work stealing, multiprogram
+// rate mode) that the 17 mixed applications under-stress.
+func (s *Suite) FigFamilies() Figure { return s.figure(s.figFamilies) }
+
+func (s *Suite) figFamilies() Figure {
+	var cols []string
+	for _, p := range FamilyApps() {
+		cols = append(cols, p.Name)
+	}
+	f := Figure{ID: "Families", Title: "Workload families across schemes", Cols: cols, Unit: "x vs 2x"}
+	schemes := []Scheme{
+		SparseDirectory(1.0 / 8),
+		InLLC(false),
+		TinyDirectory(1.0/64, true, true),
+		Stash(1.0 / 32),
+	}
+	for _, sc := range schemes {
+		sc := sc
+		f.Series = append(f.Series, s.perFamily(sc.String(), func(app Profile) float64 {
+			return s.normCycles(app, sc)
+		}))
+	}
+	return f
+}
+
 // AllFigures runs the complete experiment suite in paper order.
 func (s *Suite) AllFigures() []Figure {
 	figs := []Figure{
@@ -858,10 +895,12 @@ func (s *Suite) AllFigures() []Figure {
 	}
 	figs = append(figs, s.FigLengthened(1.0/32), s.FigLengthened(1.0/256))
 	figs = append(figs, s.Fig16(), s.Fig17(), s.Fig18(), s.Fig19(), s.Fig20(), s.Fig21(), s.Fig22(), s.FigHalved())
+	figs = append(figs, s.FigFamilies())
 	return figs
 }
 
-// FigureByID runs a single figure by identifier ("1".."22", "halved").
+// FigureByID runs a single figure by identifier ("1".."22", "halved",
+// "families", or an ablation name).
 func (s *Suite) FigureByID(id string) (Figure, error) {
 	switch strings.ToLower(strings.TrimPrefix(strings.ToLower(id), "fig")) {
 	case "1":
@@ -910,6 +949,8 @@ func (s *Suite) FigureByID(id string) (Figure, error) {
 		return s.Fig22(), nil
 	case "halved":
 		return s.FigHalved(), nil
+	case "families":
+		return s.FigFamilies(), nil
 	case "ablformat", "format":
 		return s.AblFormat(), nil
 	case "ablgenlen", "genlen":

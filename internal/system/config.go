@@ -53,6 +53,13 @@ type Config struct {
 	// fault-free machine bit-identical — the injector is nil-checked on
 	// every edge, like Observer and Recorder.
 	Faults fault.Config
+
+	// TraceStats carries workload-level measurements made on the driving
+	// trace (the generator families' trace.* counters, or the stats block
+	// of a trace file). They are merged verbatim into Metrics.Tracker at
+	// collection, so figure math and stored results see trace ground
+	// truth beside the machine counters. Nil leaves Metrics unchanged.
+	TraceStats map[string]uint64
 }
 
 // DefaultConfig returns the Table I machine scaled to the given core

@@ -217,6 +217,9 @@ func (s *System) collect() {
 	if s.flt != nil {
 		s.flt.Metrics(m.Tracker)
 	}
+	for k, v := range s.cfg.TraceStats {
+		m.Tracker[k] = v
+	}
 	for cl := mesh.TrafficClass(0); cl < mesh.NumClasses; cl++ {
 		m.TrafficBytes[cl] = s.net.TrafficBytes(cl)
 	}

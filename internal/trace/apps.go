@@ -243,9 +243,69 @@ func Apps() []Profile {
 	}
 }
 
-// AppByName returns the profile with the given name.
+// FamilyApps returns the reference profiles of the specialized generator
+// families (families.go) — sharing-pattern extremes the classic 17 mixed
+// applications under-stress: falsely-shared lines, contended hot-home
+// locks, producer-consumer rings, migratory work stealing, and a
+// multi-program rate-mode mix. Like Apps, parameters are scaled to
+// thousands of references per core against the ScaleExperiment anchors.
+func FamilyApps() []Profile {
+	return []Profile{
+		{
+			// 96 lines, each byte-sliced across up to 64 cores; writes
+			// dominate the line traffic so invalidations ping-pong.
+			Name: "falseshare", Seed: 201, Family: FamilyFalseSharing,
+			FamUnits: 96, FamSpan: 1,
+			PrivateBlocks: 400, PrivateReuse: 0.9, StreamBlocks: 200,
+			SharedFrac: 0.35, SharedWriteFrac: 0.6,
+			WriteFrac: 0.2, Gap: 5,
+		},
+		{
+			// 6 locks homed on two hot banks; short critical sections over
+			// 24-block protected regions.
+			Name: "lockhome", Seed: 202, Family: FamilyLock,
+			FamUnits: 6, FamSpan: 24, FamHomeBanks: []int{0, 3},
+			PrivateBlocks: 350, PrivateReuse: 0.92, StreamBlocks: 150,
+			SharedFrac: 0.3, SharedWriteFrac: 0.3,
+			WriteFrac: 0.2, Gap: 5,
+		},
+		{
+			// One ring per core pair, 32 slots, consumer lagging half a
+			// ring — pure pairwise producer-consumer migration.
+			Name: "ringbuf", Seed: 203, Family: FamilyRing,
+			FamSpan: 32,
+			PrivateBlocks: 300, PrivateReuse: 0.9, StreamBlocks: 100,
+			SharedFrac: 0.4, WriteFrac: 0.15, Gap: 4,
+		},
+		{
+			// Migratory chunks of 8 blocks rotating owners every 192
+			// references; the owner writes half its touches.
+			Name: "worksteal", Seed: 204, Family: FamilySteal,
+			FamSpan: 8, FamPhaseRefs: 192,
+			PrivateBlocks: 320, PrivateReuse: 0.9, StreamBlocks: 120,
+			SharedFrac: 0.35, SharedWriteFrac: 0.5,
+			WriteFrac: 0.2, Gap: 5,
+		},
+		{
+			// Rate mode: per-core heterogeneous private programs plus a
+			// 320-block read/ifetch-only shared OS region.
+			Name: "multiprog", Seed: 205, Family: FamilyMultiprog,
+			FamSpan: 320,
+			PrivateBlocks: 500, PrivateReuse: 0.88, StreamBlocks: 600,
+			SharedFrac: 0.12, WriteFrac: 0.3, Gap: 6,
+		},
+	}
+}
+
+// AppByName returns the profile with the given name, searching the 17
+// classic applications and then the family reference profiles.
 func AppByName(name string) (Profile, bool) {
 	for _, p := range Apps() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range FamilyApps() {
 		if p.Name == name {
 			return p, true
 		}

@@ -104,6 +104,28 @@ type Profile struct {
 	// which leaves dead entries behind in the tiny directory for the
 	// gNRU policy to reclaim (Figs. 16-18). 0 = stationary.
 	PhaseRefs int
+	// Family selects a specialized generator family instead of the
+	// classic mixed model above ("" = classic). Each family reuses
+	// SharedFrac (fraction of references hitting the family structure),
+	// SharedWriteFrac, WriteFrac, Gap and the private-footprint fields
+	// for its background traffic, and interprets the Fam* knobs below;
+	// see families.go for the per-family semantics and invariants.
+	Family string
+	// FamUnits counts the family's contended units: falsely-shared
+	// lines, locks, rings, or migratory chunks (0 = family default).
+	FamUnits int
+	// FamSpan is the per-unit extent: bytes claimed per core within a
+	// falsely-shared line, critical-section blocks per lock, slots per
+	// ring, blocks per migratory chunk, or shared-OS blocks for the
+	// multiprogram family (0 = family default).
+	FamSpan int
+	// FamHomeBanks pins the home banks of the lock-contention family's
+	// lock lines (addresses are chosen so each lock's physical block
+	// address homes on one of these banks). Empty = bank 0.
+	FamHomeBanks []int
+	// FamPhaseRefs is the per-phase reference count of the work-stealing
+	// family (chunk ownership rotates every phase; 0 = 256).
+	FamPhaseRefs int
 	// Seed makes the trace deterministic and distinct per app.
 	Seed uint64
 }
@@ -154,6 +176,11 @@ type Gen struct {
 	// cumulative weights for sampling.
 	eligible [][]int
 	cumW     [][]float64
+	// fam holds the specialized family tables (lazily built so tests may
+	// flip noTranslate after NewGen); stats holds the generator-side
+	// trace.* measurements of the last Traces call.
+	fam   *famTables
+	stats map[string]uint64
 }
 
 // NewGen prepares a generator for the given core count. Sharer sets are
@@ -214,6 +241,9 @@ func (g *Gen) Groups() int { return len(g.groups) }
 
 // CoreTrace generates n references for core id.
 func (g *Gen) CoreTrace(id, n int) []Ref {
+	if g.p.Family != "" {
+		return g.familyTrace(id, n)
+	}
 	p := g.p
 	r := newRng(p.Seed*0x100003 + uint64(id)*0x9e37 + 1)
 	refs := make([]Ref, 0, n)
@@ -313,8 +343,16 @@ func (g *Gen) Traces(n int) [][]Ref {
 	for c := 0; c < g.cores; c++ {
 		out[c] = g.CoreTrace(c, n)
 	}
+	g.stats = g.measure(out)
 	return out
 }
+
+// Stats returns the generator-side trace.* measurements of the last
+// Traces call (nil when the profile's family defines none). The harness
+// copies them into Metrics.Tracker so figure math and stored results can
+// see workload-level ground truth — e.g. the false-sharing census of the
+// false-sharing family. Callers must treat the map as read-only.
+func (g *Gen) Stats() map[string]uint64 { return g.stats }
 
 func max(a, b int) int {
 	if a > b {

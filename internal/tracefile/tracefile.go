@@ -1,0 +1,408 @@
+// Package tracefile defines the versioned streaming container for
+// externally captured (or pre-generated) multi-core memory traces, so
+// workloads produced outside the synthetic generator can drive the
+// machine model through the same trace interface.
+//
+// Layout (all integers little-endian or uvarint as noted), inside a gzip
+// container:
+//
+//	header:
+//	  magic   [6]byte  "TDTRC\x00"
+//	  version uint32   format version (currently 1)
+//	  name    uvarint length + bytes (workload name, ≤ 1 KB)
+//	  cores   uint32   number of per-core record streams (1 … 65536)
+//	  stats   uint32 count, then per entry: key (uvarint len + bytes,
+//	          sorted ascending) and value uint64 — the generator-side
+//	          trace.* measurements carried with the trace so replay
+//	          reproduces the same Metrics as direct generation
+//	  crc32   uint32   IEEE checksum of every header byte above
+//	record streams, one per core:
+//	  count   uvarint  records in this stream (≤ 1<<26)
+//	  records count ×: addr delta (zigzag varint vs. previous record's
+//	          block address, starting from 0), kind byte (0/1/2),
+//	          gap byte
+//	trailer:
+//	  crc64   uint64   ECMA checksum of every record-stream byte
+//
+// The sha256 digest of the whole uncompressed payload identifies the
+// trace: RunStore keys incorporate it, so two trace files with identical
+// content dedup to one stored result and any content change misses.
+//
+// Version history:
+//
+//	1 (this PR): initial format.
+//
+// Decoding is hostile-input safe: corrupt magic, versions from the
+// future, truncation anywhere, and checksum mismatches all return loud
+// errors (never panic, never silently truncate) — pinned by
+// FuzzTraceReader and the all-prefixes truncation sweep.
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"hash/crc64"
+	"io"
+	"os"
+	"sort"
+
+	"tinydir/internal/trace"
+)
+
+// FormatVersion is the trace-file format this package writes and the
+// newest it can read.
+const FormatVersion = 1
+
+const magic = "TDTRC\x00"
+
+// Decoder bounds: inputs claiming more than these are rejected before
+// any allocation, keeping hostile inputs from ballooning memory.
+const (
+	maxName     = 1 << 10
+	maxCores    = 1 << 16
+	maxStats    = 1 << 16
+	maxRecords  = 1 << 26
+	maxStatsKey = 1 << 8
+)
+
+var crc64Table = crc64.MakeTable(crc64.ECMA)
+
+// File is a decoded trace file (or one about to be written).
+type File struct {
+	Name   string
+	Stats  map[string]uint64 // generator-side trace.* metrics (may be nil)
+	Traces [][]trace.Ref     // one stream per core
+	// Digest is the hex sha256 of the uncompressed payload, set by both
+	// Write and Read.
+	Digest string
+}
+
+// Cores returns the number of per-core streams.
+func (f *File) Cores() int { return len(f.Traces) }
+
+// Write encodes the file into w. It returns the payload digest (also
+// stored in f.Digest).
+func Write(w io.Writer, f *File) (string, error) {
+	if len(f.Traces) == 0 || len(f.Traces) > maxCores {
+		return "", fmt.Errorf("tracefile: core count %d out of range [1, %d]", len(f.Traces), maxCores)
+	}
+	if len(f.Name) > maxName {
+		return "", fmt.Errorf("tracefile: name longer than %d bytes", maxName)
+	}
+	for c, refs := range f.Traces {
+		if len(refs) > maxRecords {
+			return "", fmt.Errorf("tracefile: core %d stream exceeds %d records", c, maxRecords)
+		}
+	}
+
+	var hdr bytes.Buffer
+	hdr.WriteString(magic)
+	le(&hdr, uint32(FormatVersion))
+	uv(&hdr, uint64(len(f.Name)))
+	hdr.WriteString(f.Name)
+	le(&hdr, uint32(len(f.Traces)))
+	keys := make([]string, 0, len(f.Stats))
+	for k := range f.Stats {
+		if len(k) > maxStatsKey {
+			return "", fmt.Errorf("tracefile: stats key %q longer than %d bytes", k, maxStatsKey)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	le(&hdr, uint32(len(keys)))
+	for _, k := range keys {
+		uv(&hdr, uint64(len(k)))
+		hdr.WriteString(k)
+		le(&hdr, f.Stats[k])
+	}
+	le(&hdr, crc32.ChecksumIEEE(hdr.Bytes()))
+
+	var body bytes.Buffer
+	for _, refs := range f.Traces {
+		uv(&body, uint64(len(refs)))
+		prev := uint64(0)
+		var tmp [binary.MaxVarintLen64 + 2]byte
+		for _, r := range refs {
+			n := binary.PutVarint(tmp[:], int64(r.Addr-prev))
+			prev = r.Addr
+			tmp[n] = byte(r.Kind)
+			tmp[n+1] = r.Gap
+			body.Write(tmp[:n+2])
+		}
+	}
+
+	digest := sha256.New()
+	trailer := make([]byte, 8)
+	binary.LittleEndian.PutUint64(trailer, crc64.Checksum(body.Bytes(), crc64Table))
+	zw := gzip.NewWriter(w)
+	for _, b := range [][]byte{hdr.Bytes(), body.Bytes(), trailer} {
+		digest.Write(b)
+		if _, err := zw.Write(b); err != nil {
+			return "", fmt.Errorf("tracefile: writing: %w", err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return "", fmt.Errorf("tracefile: writing: %w", err)
+	}
+	f.Digest = hex.EncodeToString(digest.Sum(nil))
+	return f.Digest, nil
+}
+
+// WriteFile writes the trace file at path atomically (write to a temp
+// file in the same directory, then rename). Returns the payload digest.
+func WriteFile(path string, f *File) (string, error) {
+	tmp, err := os.CreateTemp(".", ".tracefile-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	digest, err := Write(tmp, f)
+	if err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	return digest, os.Rename(tmp.Name(), path)
+}
+
+// digestReader hashes everything read through it.
+type digestReader struct {
+	r *bufio.Reader
+	h hash.Hash
+}
+
+func (d *digestReader) ReadByte() (byte, error) {
+	b, err := d.r.ReadByte()
+	if err == nil {
+		d.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (d *digestReader) Read(p []byte) (int, error) {
+	n, err := d.r.Read(p)
+	d.h.Write(p[:n])
+	return n, err
+}
+
+func (d *digestReader) full(p []byte) error {
+	_, err := io.ReadFull(d, p)
+	if err != nil {
+		return errTruncated(err)
+	}
+	return nil
+}
+
+func errTruncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("tracefile: truncated: %w", io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("tracefile: reading: %w", err)
+}
+
+// Read decodes a trace file, verifying both checksums and computing the
+// payload digest. Any corruption — bad magic, unknown version, header or
+// body checksum mismatch, truncation — returns an error.
+func Read(r io.Reader) (*File, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: not a gzip container: %w", err)
+	}
+	defer zr.Close()
+	d := &digestReader{r: bufio.NewReader(zr), h: sha256.New()}
+
+	// Header, re-accumulated for the checksum.
+	var hdr bytes.Buffer
+	hr := io.TeeReader(d, &hdr)
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(hr, buf); err != nil {
+		return nil, errTruncated(err)
+	}
+	if string(buf) != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", buf)
+	}
+	var version, cores, nstats uint32
+	if err := binary.Read(hr, binary.LittleEndian, &version); err != nil {
+		return nil, errTruncated(err)
+	}
+	if version == 0 || version > FormatVersion {
+		return nil, fmt.Errorf("tracefile: unsupported format version %d (this build reads ≤ %d)", version, FormatVersion)
+	}
+	name, err := readString(hr, maxName, "name")
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Read(hr, binary.LittleEndian, &cores); err != nil {
+		return nil, errTruncated(err)
+	}
+	if cores == 0 || cores > maxCores {
+		return nil, fmt.Errorf("tracefile: core count %d out of range [1, %d]", cores, maxCores)
+	}
+	if err := binary.Read(hr, binary.LittleEndian, &nstats); err != nil {
+		return nil, errTruncated(err)
+	}
+	if nstats > maxStats {
+		return nil, fmt.Errorf("tracefile: stats count %d exceeds %d", nstats, maxStats)
+	}
+	var stats map[string]uint64
+	prevKey := ""
+	for i := uint32(0); i < nstats; i++ {
+		k, err := readString(hr, maxStatsKey, "stats key")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && k <= prevKey {
+			return nil, fmt.Errorf("tracefile: stats keys not strictly sorted (%q after %q)", k, prevKey)
+		}
+		prevKey = k
+		var v uint64
+		if err := binary.Read(hr, binary.LittleEndian, &v); err != nil {
+			return nil, errTruncated(err)
+		}
+		if stats == nil {
+			stats = make(map[string]uint64)
+		}
+		stats[k] = v
+	}
+	wantCRC := crc32.ChecksumIEEE(hdr.Bytes())
+	var gotCRC uint32
+	if err := binary.Read(hr, binary.LittleEndian, &gotCRC); err != nil {
+		return nil, errTruncated(err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("tracefile: header checksum mismatch (stored %#x, computed %#x)", gotCRC, wantCRC)
+	}
+
+	// Record streams, CRC64-accumulated as decoded.
+	bodyCRC := crc64.New(crc64Table)
+	br := &crcByteReader{d: d, h: bodyCRC}
+	traces := make([][]trace.Ref, cores)
+	for c := range traces {
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, errTruncated(err)
+		}
+		if count > maxRecords {
+			return nil, fmt.Errorf("tracefile: core %d stream claims %d records (max %d)", c, count, maxRecords)
+		}
+		refs := make([]trace.Ref, 0, min64(count, 1<<14))
+		prev := uint64(0)
+		for i := uint64(0); i < count; i++ {
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, errTruncated(err)
+			}
+			prev += uint64(delta)
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, errTruncated(err)
+			}
+			if kind > byte(trace.Ifetch) {
+				return nil, fmt.Errorf("tracefile: core %d record %d has invalid kind %d", c, i, kind)
+			}
+			gap, err := br.ReadByte()
+			if err != nil {
+				return nil, errTruncated(err)
+			}
+			refs = append(refs, trace.Ref{Addr: prev, Kind: trace.Kind(kind), Gap: gap})
+		}
+		traces[c] = refs
+	}
+	trailer := make([]byte, 8)
+	if err := d.full(trailer); err != nil {
+		return nil, err
+	}
+	if got, want := binary.LittleEndian.Uint64(trailer), bodyCRC.Sum64(); got != want {
+		return nil, fmt.Errorf("tracefile: body checksum mismatch (stored %#x, computed %#x)", got, want)
+	}
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: reading past trailer: %w", err)
+		}
+		return nil, fmt.Errorf("tracefile: trailing garbage after trailer")
+	}
+	return &File{
+		Name:   name,
+		Stats:  stats,
+		Traces: traces,
+		Digest: hex.EncodeToString(d.h.Sum(nil)),
+	}, nil
+}
+
+// ReadFile decodes the trace file at path.
+func ReadFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tf, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tf, nil
+}
+
+// crcByteReader reads bytes through the digest reader while feeding the
+// body CRC64.
+type crcByteReader struct {
+	d *digestReader
+	h hash.Hash64
+}
+
+func (c *crcByteReader) ReadByte() (byte, error) {
+	b, err := c.d.ReadByte()
+	if err == nil {
+		c.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+func readString(hr io.Reader, maxLen int, what string) (string, error) {
+	// Length varints must come off hr so they land in the header
+	// checksum accumulation; byteReader adapts.
+	n, err := binary.ReadUvarint(byteReader{hr})
+	if err != nil {
+		return "", errTruncated(err)
+	}
+	if n > uint64(maxLen) {
+		return "", fmt.Errorf("tracefile: %s length %d exceeds %d", what, n, maxLen)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(hr, b); err != nil {
+		return "", errTruncated(err)
+	}
+	return string(b), nil
+}
+
+type byteReader struct{ r io.Reader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var p [1]byte
+	if _, err := io.ReadFull(b.r, p[:]); err != nil {
+		return 0, err
+	}
+	return p[0], nil
+}
+
+func le(w *bytes.Buffer, v any) { binary.Write(w, binary.LittleEndian, v) }
+func uv(w *bytes.Buffer, v uint64) {
+	var t [binary.MaxVarintLen64]byte
+	w.Write(t[:binary.PutUvarint(t[:], v)])
+}
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

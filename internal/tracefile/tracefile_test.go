@@ -1,0 +1,169 @@
+package tracefile
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tinydir/internal/trace"
+)
+
+// sample builds a small but structurally complete file: several cores,
+// mixed kinds, non-monotone addresses (negative deltas), and stats.
+func sample() *File {
+	p, _ := trace.AppByName("falseshare")
+	g := trace.NewGen(p, 4)
+	traces := g.Traces(120)
+	return &File{Name: "falseshare", Stats: g.Stats(), Traces: traces}
+}
+
+func encode(t *testing.T, f *File) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := Write(&buf, f); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sample()
+	raw := encode(t, f)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != f.Name {
+		t.Errorf("name: got %q want %q", got.Name, f.Name)
+	}
+	if !reflect.DeepEqual(got.Stats, f.Stats) {
+		t.Errorf("stats: got %v want %v", got.Stats, f.Stats)
+	}
+	if !reflect.DeepEqual(got.Traces, f.Traces) {
+		t.Error("traces differ after round trip")
+	}
+	if got.Digest != f.Digest || got.Digest == "" {
+		t.Errorf("digest: reader computed %q, writer %q", got.Digest, f.Digest)
+	}
+}
+
+func TestDigestIsContentAddressed(t *testing.T) {
+	a := sample()
+	b := sample()
+	encode(t, a)
+	encode(t, b)
+	if a.Digest != b.Digest {
+		t.Error("identical content produced different digests")
+	}
+	b.Traces[2][7].Gap++
+	encode(t, b)
+	if a.Digest == b.Digest {
+		t.Error("changed content kept the same digest")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	f := sample()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	digest, err := WriteFile(path, f)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Digest != digest {
+		t.Errorf("digest mismatch: %q vs %q", got.Digest, digest)
+	}
+	if got.Cores() != f.Cores() {
+		t.Errorf("cores: got %d want %d", got.Cores(), f.Cores())
+	}
+}
+
+// corrupt returns raw with the payload byte at off changed, re-gzipped.
+// (Flipping compressed bytes only tests gzip's own CRC; the format's
+// checksums guard the payload.)
+func corrupt(t *testing.T, f *File, mutate func(payload []byte)) []byte {
+	t.Helper()
+	raw := encode(t, f)
+	payload := gunzip(t, raw)
+	mutate(payload)
+	return gz(t, payload)
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	f := sample()
+	cases := []struct {
+		name    string
+		mutate  func([]byte)
+		wantErr string
+	}{
+		{"bad magic", func(p []byte) { p[0] = 'X' }, "bad magic"},
+		{"future version", func(p []byte) { p[6] = 99 }, "unsupported format version"},
+		{"zero version", func(p []byte) { p[6] = 0 }, "unsupported format version"},
+		{"header bit flip", func(p []byte) { p[12] ^= 0x40 }, "checksum mismatch"},
+		{"body bit flip", func(p []byte) { p[len(p)-20] ^= 0x01 }, "mismatch"},
+		{"trailer flip", func(p []byte) { p[len(p)-1] ^= 0x80 }, "body checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := corrupt(t, f, tc.mutate)
+			_, err := Read(bytes.NewReader(raw))
+			if err == nil {
+				t.Fatal("corruption accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRejectsTrailingGarbage(t *testing.T) {
+	f := sample()
+	raw := encode(t, f)
+	payload := gunzip(t, raw)
+	_, err := Read(bytes.NewReader(gz(t, append(payload, 0xAB))))
+	if err == nil || !strings.Contains(err.Error(), "trailing garbage") {
+		t.Fatalf("trailing garbage accepted: %v", err)
+	}
+}
+
+func TestRejectsNotGzip(t *testing.T) {
+	_, err := Read(bytes.NewReader([]byte("TDTRC\x00 but raw")))
+	if err == nil || !strings.Contains(err.Error(), "gzip") {
+		t.Fatalf("raw payload accepted: %v", err)
+	}
+}
+
+// TestTruncationsNeverPanic is the deterministic all-prefixes sweep:
+// every proper prefix of a valid file — at both the compressed and the
+// payload layer — must error cleanly, never panic, never succeed.
+func TestTruncationsNeverPanic(t *testing.T) {
+	f := sample()
+	raw := encode(t, f)
+	for n := 0; n < len(raw); n++ {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("compressed prefix of %d/%d bytes decoded successfully", n, len(raw))
+		}
+	}
+	payload := gunzip(t, raw)
+	for n := 0; n < len(payload); n++ {
+		if _, err := Read(bytes.NewReader(gz(t, payload[:n]))); err == nil {
+			t.Fatalf("payload prefix of %d/%d bytes decoded successfully", n, len(payload))
+		}
+	}
+}
+
+func TestWriteBounds(t *testing.T) {
+	if _, err := Write(&bytes.Buffer{}, &File{}); err == nil {
+		t.Error("zero-core file accepted")
+	}
+	long := &File{Name: strings.Repeat("x", maxName+1), Traces: [][]trace.Ref{{}}}
+	if _, err := Write(&bytes.Buffer{}, long); err == nil {
+		t.Error("over-long name accepted")
+	}
+}

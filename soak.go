@@ -32,17 +32,25 @@ type SoakOptions struct {
 	// Scale selects the machine (zero value = ScaleTest: the soak's value
 	// is seed count, not machine size).
 	Scale Scale
-	// App names the workload profile ("" = barnes, a contended one).
+	// App pins every seed to one workload profile. Empty selects the
+	// rotation in Apps.
 	App string
+	// Apps is the workload rotation: seed i runs Apps[i%len(Apps)], so a
+	// sweep exercises every sharing shape and a failing (seed, app) pair
+	// still replays in isolation via App. Empty (with App empty too)
+	// defaults to barnes plus the five family profiles — the contended
+	// classic and the sharing-pattern extremes of internal/trace/families.
+	Apps []string
 	// Timeout bounds each run's wall clock (0 = none); a run exceeding it
 	// fails with a RunTimeoutError instead of wedging the soak.
 	Timeout time.Duration
 }
 
-// SoakRun is one (scheme, seed) soak outcome.
+// SoakRun is one (scheme, seed, app) soak outcome.
 type SoakRun struct {
 	Scheme  string
 	Seed    uint64
+	App     string
 	Retires uint64
 	Err     string // "" = the run met the full survival contract
 }
@@ -80,10 +88,15 @@ func Soak(o SoakOptions, progress io.Writer) SoakReport {
 	if o.Scale.Cores == 0 {
 		o.Scale = ScaleTest
 	}
-	if o.App == "" {
-		o.App = "barnes"
+	apps := o.Apps
+	if o.App != "" {
+		apps = []string{o.App}
+	} else if len(apps) == 0 {
+		apps = []string{"barnes"}
+		for _, p := range FamilyApps() {
+			apps = append(apps, p.Name)
+		}
 	}
-	app := App(o.App)
 	logf := func(format string, args ...interface{}) {
 		if progress != nil {
 			fmt.Fprintf(progress, format, args...)
@@ -92,19 +105,39 @@ func Soak(o SoakOptions, progress io.Writer) SoakReport {
 
 	var rep SoakReport
 	for _, sch := range soakSchemes() {
-		// Fault-free baseline: the retire count every faulted run must
-		// reproduce exactly (faults may delay references, never eat them).
-		base, _, err := soakOne(app, sch, o.Scale, fault.Config{}, o.Timeout)
-		if err != nil {
-			rep.Runs = append(rep.Runs, SoakRun{Scheme: sch.String(), Err: "fault-free baseline: " + err.Error()})
-			rep.Failures++
-			logf("soak: %s: baseline FAILED: %v\n", sch, err)
-			continue
+		// Fault-free baselines, one per workload in the rotation, computed
+		// on first need: the retire count every faulted run must reproduce
+		// exactly (faults may delay references, never eat them).
+		baselines := map[string]uint64{}
+		baseErrs := map[string]string{}
+		baseline := func(name string) (uint64, string) {
+			if e, bad := baseErrs[name]; bad {
+				return 0, e
+			}
+			if b, ok := baselines[name]; ok {
+				return b, ""
+			}
+			b, _, err := soakOne(App(name), sch, o.Scale, fault.Config{}, o.Timeout)
+			if err != nil {
+				baseErrs[name] = "fault-free baseline: " + err.Error()
+				logf("soak: %s/%s: baseline FAILED: %v\n", sch, name, err)
+				return 0, baseErrs[name]
+			}
+			baselines[name] = b
+			return b, ""
 		}
 		for i := 0; i < o.Seeds; i++ {
 			seed := o.FaultSeed + uint64(i)
-			run := SoakRun{Scheme: sch.String(), Seed: seed}
-			retires, stats, err := soakOne(app, sch, o.Scale, fault.Uniform(seed, o.FaultRate), o.Timeout)
+			appName := apps[i%len(apps)]
+			run := SoakRun{Scheme: sch.String(), Seed: seed, App: appName}
+			base, baseErr := baseline(appName)
+			if baseErr != "" {
+				run.Err = baseErr
+				rep.Failures++
+				rep.Runs = append(rep.Runs, run)
+				continue
+			}
+			retires, stats, err := soakOne(App(appName), sch, o.Scale, fault.Uniform(seed, o.FaultRate), o.Timeout)
 			run.Retires = retires
 			switch {
 			case err != nil:
@@ -117,7 +150,7 @@ func Soak(o SoakOptions, progress io.Writer) SoakReport {
 			addStats(&rep.Stats, stats)
 			if run.Err != "" {
 				rep.Failures++
-				logf("soak: %s seed %d FAILED: %s\n", sch, seed, run.Err)
+				logf("soak: %s seed %d (%s) FAILED: %s\n", sch, seed, appName, run.Err)
 			}
 			rep.Runs = append(rep.Runs, run)
 		}

@@ -38,7 +38,10 @@ import (
 // the simulation's observable behavior changes incompatibly.
 //
 // v2: keys carry the fault-injection configuration (rate + seed).
-const storeFormatVersion = 2
+// v3: keys carry the trace-file digest; Profile gained the workload-family
+// fields (which feed the app=%+v key line) and Metrics.Tracker gained the
+// trace.* counters.
+const storeFormatVersion = 3
 
 // RunStore is a directory-backed cache of simulation results and warmup
 // checkpoints. The zero value is not usable; construct with NewRunStore.
@@ -61,6 +64,24 @@ func NewRunStore(dir string) (*RunStore, error) {
 // normalizeOptions applies Run's defaulting rules so that every spelling of
 // the same simulation maps to the same store key.
 func normalizeOptions(o Options) Options {
+	if o.Trace != nil {
+		// Trace-driven runs size the machine from the file: the Scale's
+		// core/reference counts are derived, not configuration, and App
+		// only contributes its display name.
+		if o.Scale.Name == "" {
+			o.Scale.Name = "trace"
+		}
+		o.Scale.Cores = o.Trace.Cores()
+		o.Scale.Refs = 0
+		for _, refs := range o.Trace.Traces {
+			if len(refs) > o.Scale.Refs {
+				o.Scale.Refs = len(refs)
+			}
+		}
+		if o.App.Name == "" {
+			o.App.Name = o.Trace.Name
+		}
+	}
 	if o.Scale.Cores == 0 {
 		o.Scale = ScaleExperiment
 	}
@@ -89,6 +110,11 @@ func (s *RunStore) Key(o Options) string {
 		o.Scale.Name, o.Scale.Cores, o.Scale.Refs, o.Scale.HalveHierarchy)
 	fmt.Fprintf(h, "maxevents=%d\n", o.MaxEvents)
 	fmt.Fprintf(h, "fault rate=%g seed=%d\n", o.FaultRate, o.FaultSeed)
+	if o.Trace != nil {
+		// The digest stands in for the full trace content: identical
+		// files dedup to one key, any content change misses.
+		fmt.Fprintf(h, "trace digest=%s\n", o.Trace.Digest)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -235,8 +261,14 @@ func runWithStore(o Options, store *RunStore, resume bool) (Result, bool) {
 		if o.FaultRate > 0 {
 			cfg.Faults = fault.Uniform(o.FaultSeed, o.FaultRate)
 		}
+		if o.Trace != nil {
+			cfg.TraceStats = o.Trace.Stats
+			return system.New(cfg, o.Trace.Traces)
+		}
 		gen := trace.NewGen(o.App, cfg.Cores)
-		return system.New(cfg, gen.Traces(o.Scale.Refs))
+		traces := gen.Traces(o.Scale.Refs)
+		cfg.TraceStats = gen.Stats()
+		return system.New(cfg, traces)
 	}
 
 	start := time.Now()

@@ -31,6 +31,7 @@ import (
 	"tinydir/internal/proto"
 	"tinydir/internal/system"
 	"tinydir/internal/trace"
+	"tinydir/internal/tracefile"
 )
 
 // Profile re-exports the synthetic application model.
@@ -64,14 +65,47 @@ func NewObsRecorder(c ObsConfig) *ObsRecorder { return obs.NewRecorder(c) }
 // Apps returns the 17 application profiles of Table II.
 func Apps() []Profile { return trace.Apps() }
 
-// App returns a profile by name, panicking on unknown names (the set is
-// static).
+// FamilyApps returns the five specialized workload-family reference
+// profiles (false-sharing, lock-contention, producer-consumer,
+// work-stealing, multiprogram); see internal/trace/families.go.
+func FamilyApps() []Profile { return trace.FamilyApps() }
+
+// App returns a profile by name — one of the 17 applications or the five
+// family profiles — panicking on unknown names (the set is static).
 func App(name string) Profile {
 	p, ok := trace.AppByName(name)
 	if !ok {
 		panic(fmt.Sprintf("tinydir: unknown application %q", name))
 	}
 	return p
+}
+
+// TraceInput is a decoded trace file, driving the machine in place of
+// the synthetic generator. Obtain one with LoadTraceFile (or build it
+// from any [][]trace.Ref). The Digest identifies the trace content in
+// store keys; Stats carries the generator-side trace.* measurements
+// that replay must surface to stay bit-identical with direct runs.
+type TraceInput struct {
+	Name   string
+	Digest string
+	Stats  map[string]uint64
+	Traces [][]trace.Ref
+}
+
+// Cores returns the number of per-core streams.
+func (t *TraceInput) Cores() int { return len(t.Traces) }
+
+// LoadTraceFile reads a trace file written by cmd/tracegen (or any
+// producer of the internal/tracefile format).
+func LoadTraceFile(path string) (*TraceInput, error) {
+	tf, err := tracefile.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if c := len(tf.Traces); c < 2 || c&(c-1) != 0 {
+		return nil, fmt.Errorf("tinydir: trace file %s has %d cores; the machine needs a power of two >= 2", path, c)
+	}
+	return &TraceInput{Name: tf.Name, Digest: tf.Digest, Stats: tf.Stats, Traces: tf.Traces}, nil
 }
 
 // SchemeKind enumerates the coherence-tracking organizations.
@@ -305,6 +339,12 @@ type Options struct {
 	App    Profile
 	Scheme Scheme
 	Scale  Scale
+	// Trace, when non-nil, drives the machine from a decoded trace file
+	// instead of generating App's traces: App (except its Name default)
+	// and the Scale's core/reference counts are ignored — the machine is
+	// sized from the trace itself — and the trace digest enters the store
+	// key so identical files dedup and changed content misses.
+	Trace *TraceInput
 	// MaxEvents bounds the run (0 = default safety bound).
 	MaxEvents uint64
 	// Obs, when non-nil, attaches the time-resolved observability layer to

@@ -23,7 +23,20 @@ import (
 //	  "writeFrac": 0.25, "gap": 5, "phaseRefs": 1000
 //	}
 //
-// See internal/trace.Profile for the parameter semantics.
+// A specialized generator family (internal/trace/families.go) is selected
+// with "family" plus its knobs:
+//
+//	{
+//	  "name": "mylocks", "seed": 7,
+//	  "family": "lock-contention",
+//	  "famUnits": 6, "famSpan": 24, "famHomeBanks": [0, 3],
+//	  "privateBlocks": 350, "privateReuse": 0.92,
+//	  "sharedFrac": 0.3, "sharedWriteFrac": 0.3, "writeFrac": 0.2, "gap": 5
+//	}
+//
+// See internal/trace.Profile for the parameter semantics. Unknown keys
+// are rejected (DisallowUnknownFields), so a typo'd parameter fails
+// loudly instead of silently zero-filling.
 
 // profileJSON mirrors trace.Profile with JSON tags.
 type profileJSON struct {
@@ -41,6 +54,11 @@ type profileJSON struct {
 	WriteFrac       float64     `json:"writeFrac"`
 	Gap             int         `json:"gap"`
 	PhaseRefs       int         `json:"phaseRefs"`
+	Family          string      `json:"family,omitempty"`
+	FamUnits        int         `json:"famUnits,omitempty"`
+	FamSpan         int         `json:"famSpan,omitempty"`
+	FamHomeBanks    []int       `json:"famHomeBanks,omitempty"`
+	FamPhaseRefs    int         `json:"famPhaseRefs,omitempty"`
 	Seed            uint64      `json:"seed"`
 }
 
@@ -73,6 +91,27 @@ func ReadProfile(r io.Reader) (Profile, error) {
 			return Profile{}, fmt.Errorf("tinydir: group %d has non-positive parameters", i)
 		}
 	}
+	if pj.Family != "" {
+		known := false
+		for _, f := range trace.Families() {
+			if pj.Family == f {
+				known = true
+			}
+		}
+		if !known {
+			return Profile{}, fmt.Errorf("tinydir: unknown workload family %q (one of %v)", pj.Family, trace.Families())
+		}
+	} else if pj.FamUnits != 0 || pj.FamSpan != 0 || len(pj.FamHomeBanks) != 0 || pj.FamPhaseRefs != 0 {
+		return Profile{}, fmt.Errorf("tinydir: fam* parameters are only meaningful with a family set")
+	}
+	if pj.FamUnits < 0 || pj.FamSpan < 0 || pj.FamPhaseRefs < 0 {
+		return Profile{}, fmt.Errorf("tinydir: fam* parameters must be non-negative")
+	}
+	for i, b := range pj.FamHomeBanks {
+		if b < 0 {
+			return Profile{}, fmt.Errorf("tinydir: famHomeBanks[%d] is negative", i)
+		}
+	}
 	p := Profile{
 		Name:            pj.Name,
 		PrivateBlocks:   pj.PrivateBlocks,
@@ -87,6 +126,11 @@ func ReadProfile(r io.Reader) (Profile, error) {
 		WriteFrac:       pj.WriteFrac,
 		Gap:             pj.Gap,
 		PhaseRefs:       pj.PhaseRefs,
+		Family:          pj.Family,
+		FamUnits:        pj.FamUnits,
+		FamSpan:         pj.FamSpan,
+		FamHomeBanks:    pj.FamHomeBanks,
+		FamPhaseRefs:    pj.FamPhaseRefs,
 		Seed:            pj.Seed,
 	}
 	for _, g := range pj.Groups {
@@ -121,6 +165,11 @@ func WriteProfile(w io.Writer, p Profile) error {
 		WriteFrac:       p.WriteFrac,
 		Gap:             p.Gap,
 		PhaseRefs:       p.PhaseRefs,
+		Family:          p.Family,
+		FamUnits:        p.FamUnits,
+		FamSpan:         p.FamSpan,
+		FamHomeBanks:    p.FamHomeBanks,
+		FamPhaseRefs:    p.FamPhaseRefs,
 		Seed:            p.Seed,
 	}
 	for _, g := range p.Groups {

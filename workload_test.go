@@ -53,12 +53,55 @@ func TestReadProfileRejectsBadInput(t *testing.T) {
 		"no private":    `{"name": "x", "seed": 1}`,
 		"bad group":     `{"name": "x", "seed": 1, "privateBlocks": 10, "groups": [{"count": 0, "blocks": 8, "sharers": 2, "weight": 1}]}`,
 		"unknown field": `{"name": "x", "seed": 1, "privateBlocks": 10, "bogus": 3}`,
+		"typo'd field":  `{"name": "x", "seed": 1, "privateBlocks": 10, "sharedFarc": 0.3}`,
+		"typo'd family": `{"name": "x", "seed": 1, "privateBlocks": 10, "family": "false-sharng"}`,
+		"fam wo family": `{"name": "x", "seed": 1, "privateBlocks": 10, "famUnits": 4}`,
+		"negative fam":  `{"name": "x", "seed": 1, "privateBlocks": 10, "family": "work-stealing", "famSpan": -2}`,
+		"negative bank": `{"name": "x", "seed": 1, "privateBlocks": 10, "family": "lock-contention", "famHomeBanks": [-1]}`,
 		"not json":      `hello`,
 	}
 	for label, in := range cases {
 		if _, err := ReadProfile(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted", label)
 		}
+	}
+}
+
+func TestFamilyProfileRoundTrip(t *testing.T) {
+	for _, orig := range FamilyApps() {
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if back.Family != orig.Family || back.FamUnits != orig.FamUnits ||
+			back.FamSpan != orig.FamSpan || back.FamPhaseRefs != orig.FamPhaseRefs ||
+			len(back.FamHomeBanks) != len(orig.FamHomeBanks) {
+			t.Fatalf("%s: round trip lost family data:\n%+v\n%+v", orig.Name, orig, back)
+		}
+	}
+}
+
+func TestFamilyProfileRuns(t *testing.T) {
+	in := `{
+	  "name": "myfalseshare", "seed": 9,
+	  "family": "false-sharing", "famUnits": 16, "famSpan": 4,
+	  "privateBlocks": 100, "privateReuse": 0.9,
+	  "sharedFrac": 0.4, "sharedWriteFrac": 0.5, "writeFrac": 0.2, "gap": 4
+	}`
+	p, err := ReadProfile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(Options{App: p, Scheme: TinyDirectory(1.0/64, true, true), Scale: ScaleTest})
+	if r.Metrics.Cycles == 0 || r.App != "myfalseshare" {
+		t.Fatalf("family profile run failed: %+v", r)
+	}
+	if r.Metrics.Tracker["trace.fsRefs"] == 0 {
+		t.Fatalf("family run surfaced no trace.* metrics: %v", r.Metrics.Tracker)
 	}
 }
 
