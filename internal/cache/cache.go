@@ -40,17 +40,25 @@ type Line[T any] struct {
 
 	stamp uint64 // LRU recency stamp
 	ref   bool   // NRU reference bit
-	set   int
-	way   int
+	set   int32
+	way   int32
 }
 
 // Way returns the physical way index of the line within its set. The DSTRA
 // policy breaks ties by lowest physical way id, so trackers need access to
 // it.
-func (l *Line[T]) Way() int { return l.way }
+func (l *Line[T]) Way() int { return int(l.way) }
 
 // Set returns the set index of the line.
-func (l *Line[T]) Set() int { return l.set }
+func (l *Line[T]) Set() int { return int(l.set) }
+
+// invalidTag marks an empty way in the tag side-array. The address
+// ^uint64(0) is reserved (install paths panic on it), so the side-array
+// invariant is exact: tags[i] == invalidTag iff lines[i] is invalid.
+// Block addresses are byte addresses shifted right by the block bits, so
+// no modeled address can reach the sentinel. Tag-match scans still
+// confirm against the Line before returning it.
+const invalidTag = ^uint64(0)
 
 // Cache is a set-associative tag array.
 type Cache[T any] struct {
@@ -58,8 +66,21 @@ type Cache[T any] struct {
 	ways   int
 	policy Policy
 	shift  uint
+	mask   uint64    // sets-1 when sets is a power of two, else 0
 	lines  []Line[T] // sets*ways, row-major by set
-	clock  uint64
+	// tags mirrors lines[i].Addr for valid lines (invalidTag otherwise)
+	// in a compact parallel array, so a set scan touches ways*8 bytes
+	// instead of ways full Line structs. Maintained by every method that
+	// installs or invalidates a line.
+	tags  []uint64
+	clock uint64
+	// used logs each line the first time it is touched, so Release can
+	// wipe exactly the dirtied lines instead of the whole slab. stamp ==
+	// 0 identifies a pristine line (every install goes through Touch,
+	// which starts the clock at 1). untracked marks a cache whose lines
+	// were written directly by LoadState, invalidating the log.
+	used      []int32
+	untracked bool
 }
 
 // New returns a cache with the given geometry. sets and ways must be
@@ -69,14 +90,41 @@ func New[T any](sets, ways int, policy Policy) *Cache[T] {
 		panic("cache: non-positive geometry")
 	}
 	c := &Cache[T]{sets: sets, ways: ways, policy: policy}
+	if sets&(sets-1) == 0 {
+		c.mask = uint64(sets - 1)
+	}
 	c.lines = make([]Line[T], sets*ways)
+	c.tags = make([]uint64, sets*ways)
 	for s := 0; s < sets; s++ {
 		for w := 0; w < ways; w++ {
 			l := &c.lines[s*ways+w]
-			l.set, l.way = s, w
+			l.set, l.way = int32(s), int32(w)
+			c.tags[s*ways+w] = invalidTag
 		}
 	}
 	return c
+}
+
+// setTag keeps the tag side-array in sync with l's identity. Install
+// paths reject the reserved sentinel address so the invariant
+// (sentinel tag iff invalid line) stays exact.
+func (c *Cache[T]) setTag(l *Line[T], tag uint64) {
+	c.tags[int(l.set)*c.ways+int(l.way)] = tag
+}
+
+// rebuildTags regenerates the tag side-array from the lines (after a
+// snapshot restore wrote line identities directly).
+func (c *Cache[T]) rebuildTags() {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			if c.lines[i].Addr == invalidTag {
+				panic("cache: restored line with reserved address ^uint64(0)")
+			}
+			c.tags[i] = c.lines[i].Addr
+		} else {
+			c.tags[i] = invalidTag
+		}
+	}
 }
 
 // Sets returns the number of sets.
@@ -93,8 +141,17 @@ func (c *Cache[T]) Capacity() int { return c.sets * c.ways }
 // bank-selection bits, which are constant within one bank.
 func (c *Cache[T]) SetIndexShift(s uint) { c.shift = s }
 
-// SetIndex maps a block address to its set.
-func (c *Cache[T]) SetIndex(addr uint64) int { return int((addr >> c.shift) % uint64(c.sets)) }
+// SetIndex maps a block address to its set. Every modeled geometry has a
+// power-of-two set count, so the hot path is a mask; the modulo fallback
+// keeps odd test geometries working. Both pick identical sets for
+// power-of-two counts, so this is invisible to replacement behavior.
+func (c *Cache[T]) SetIndex(addr uint64) int {
+	a := addr >> c.shift
+	if c.mask != 0 {
+		return int(a & c.mask)
+	}
+	return int(a % uint64(c.sets))
+}
 
 // SetLines returns the lines of set s (all ways, valid or not), in physical
 // way order. Callers must not retain the slice across Insert calls on other
@@ -105,6 +162,25 @@ func (c *Cache[T]) SetLines(s int) []*Line[T] {
 		out[w] = &c.lines[s*c.ways+w]
 	}
 	return out
+}
+
+// LinesIn returns the backing lines of addr's set (all ways, valid or
+// not), in physical way order. The slice aliases the cache's storage:
+// callers may mutate Meta in place but must not append to, reorder, or
+// retain it. It exists so hot paths can scan a set without the per-line
+// indirect call that ScanSet's callback costs.
+func (c *Cache[T]) LinesIn(addr uint64) []Line[T] {
+	base := c.SetIndex(addr) * c.ways
+	return c.lines[base : base+c.ways]
+}
+
+// TagsIn returns the tag side-array slice of addr's set, parallel to
+// LinesIn. A tag equal to addr marks a *candidate* way: the caller must
+// confirm against the Line (Valid && Addr == addr) before using it, since
+// a real address may collide with the invalid-way sentinel.
+func (c *Cache[T]) TagsIn(addr uint64) []uint64 {
+	base := c.SetIndex(addr) * c.ways
+	return c.tags[base : base+c.ways]
 }
 
 // ScanSet calls fn for every valid line in addr's set until fn returns
@@ -123,12 +199,14 @@ func (c *Cache[T]) ScanSet(addr uint64, fn func(*Line[T]) bool) {
 // Lookup returns the line holding addr, or nil. It does not update
 // replacement state; callers decide when an access counts as a use (Touch).
 func (c *Cache[T]) Lookup(addr uint64) *Line[T] {
-	s := c.SetIndex(addr)
-	base := s * c.ways
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.Valid && l.Addr == addr {
-			return l
+	base := c.SetIndex(addr) * c.ways
+	tags := c.tags[base : base+c.ways]
+	for w := range tags {
+		if tags[w] == addr {
+			l := &c.lines[base+w]
+			if l.Valid && l.Addr == addr {
+				return l
+			}
 		}
 	}
 	return nil
@@ -136,6 +214,9 @@ func (c *Cache[T]) Lookup(addr uint64) *Line[T] {
 
 // Touch marks the line as most-recently used (LRU) or recently used (NRU).
 func (c *Cache[T]) Touch(l *Line[T]) {
+	if l.stamp == 0 {
+		c.used = append(c.used, l.set*int32(c.ways)+l.way)
+	}
 	c.clock++
 	l.stamp = c.clock
 	l.ref = true
@@ -156,11 +237,15 @@ func (c *Cache[T]) VictimWhere(addr uint64, skip func(*Line[T]) bool) *Line[T] {
 
 func (c *Cache[T]) victimIn(s int, skip func(*Line[T]) bool) *Line[T] {
 	base := s * c.ways
-	// Invalid way first.
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if !l.Valid && (skip == nil || !skip(l)) {
-			return l
+	// Invalid way first (the tag invariant makes this a tag-only scan;
+	// full sets — the common steady state — never touch the lines here).
+	tags := c.tags[base : base+c.ways]
+	for w := range tags {
+		if tags[w] == invalidTag {
+			l := &c.lines[base+w]
+			if skip == nil || !skip(l) {
+				return l
+			}
 		}
 	}
 	switch c.policy {
@@ -211,6 +296,9 @@ func (c *Cache[T]) Insert(addr uint64) (l *Line[T], evicted Line[T], hadVictim b
 // InsertWhere is Insert with a victim filter (see VictimWhere). If every
 // candidate is skipped, it returns l == nil.
 func (c *Cache[T]) InsertWhere(addr uint64, skip func(*Line[T]) bool) (l *Line[T], evicted Line[T], hadVictim bool) {
+	if addr == invalidTag {
+		panic("cache: address ^uint64(0) is reserved")
+	}
 	if ex := c.Lookup(addr); ex != nil {
 		c.Touch(ex)
 		return ex, Line[T]{}, false
@@ -227,6 +315,7 @@ func (c *Cache[T]) InsertWhere(addr uint64, skip func(*Line[T]) bool) (l *Line[T
 	v.Addr = addr
 	v.Valid = true
 	v.Meta = zero
+	c.setTag(v, addr)
 	c.Touch(v)
 	return v, evicted, hadVictim
 }
@@ -239,13 +328,17 @@ func (c *Cache[T]) InsertWhere(addr uint64, skip func(*Line[T]) bool) (l *Line[T
 // dealt with the previous occupant (see Victim/VictimWhere) and for
 // passing a line that belongs to addr's set.
 func (c *Cache[T]) Replace(l *Line[T], addr uint64) {
-	if l.set != c.SetIndex(addr) {
+	if int(l.set) != c.SetIndex(addr) {
 		panic("cache: Replace outside the address's set")
+	}
+	if addr == invalidTag {
+		panic("cache: address ^uint64(0) is reserved")
 	}
 	var zero T
 	l.Addr = addr
 	l.Valid = true
 	l.Meta = zero
+	c.setTag(l, addr)
 	c.Touch(l)
 }
 
@@ -261,6 +354,7 @@ func (c *Cache[T]) Invalidate(addr uint64) (Line[T], bool) {
 	l.Valid = false
 	l.Meta = zero
 	l.ref = false
+	c.setTag(l, invalidTag)
 	return old, true
 }
 
@@ -272,6 +366,7 @@ func (c *Cache[T]) InvalidateLine(l *Line[T]) {
 	l.Valid = false
 	l.Meta = zero
 	l.ref = false
+	c.setTag(l, invalidTag)
 }
 
 // CountValid returns the number of valid lines (test helper).
@@ -285,10 +380,12 @@ func (c *Cache[T]) CountValid() int {
 	return n
 }
 
-// ForEach calls fn for every valid line.
+// ForEach calls fn for every valid line. The walk is driven by the tag
+// side-array, so sparsely populated caches (end-of-run harvests over a
+// mostly empty LLC) skip invalid lines without touching them.
 func (c *Cache[T]) ForEach(fn func(*Line[T])) {
-	for i := range c.lines {
-		if c.lines[i].Valid {
+	for i, tg := range c.tags {
+		if tg != invalidTag {
 			fn(&c.lines[i])
 		}
 	}

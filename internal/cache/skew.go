@@ -76,7 +76,7 @@ func NewSkewed[T any](sets, ways int, seed uint64) *Skewed[T] {
 		c.hashes = append(c.hashes, newH3(seed+uint64(w)*0x1000193, outBits))
 		for s := 0; s < sets; s++ {
 			l := &c.lines[w*sets+s]
-			l.set, l.way = s, w
+			l.set, l.way = int32(s), int32(w)
 		}
 	}
 	return c

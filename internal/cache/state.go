@@ -34,6 +34,11 @@ func LoadState[T any](r *snapshot.Reader, c *Cache[T], dec func(*snapshot.Reader
 	for i := range c.lines {
 		loadLine(r, &c.lines[i], dec)
 	}
+	c.rebuildTags()
+	// The lines were written directly, so the touched-line log no longer
+	// covers every dirty line; Release must fall back to a full wipe.
+	c.untracked = true
+	c.used = nil
 	return r.Err()
 }
 

@@ -87,12 +87,20 @@ func NewTiny(cfg TinyConfig) *Tiny {
 	}
 	var tags *cache.Cache[tinyEntry]
 	if cfg.Entries < 32 {
-		tags = cache.New[tinyEntry](1, cfg.Entries, cache.NRU)
+		tags = cache.NewIn(&tinyTagPool, 1, cfg.Entries, cache.NRU)
 	} else {
-		tags = cache.New[tinyEntry](cfg.Entries/8, 8, cache.NRU)
+		tags = cache.NewIn(&tinyTagPool, cfg.Entries/8, 8, cache.NRU)
 	}
 	return &Tiny{cfg: cfg, tags: tags, spillIdx: 7}
 }
+
+// tinyTagPool recycles tiny-directory tag arrays across the back-to-back
+// same-geometry machines a sweep constructs (see cache.Pool).
+var tinyTagPool cache.Pool[tinyEntry]
+
+// ReleaseStorage returns the tag array to the pool (see
+// System.ReleaseStorage); the directory is unusable afterwards.
+func (t *Tiny) ReleaseStorage() { t.tags.Release(&tinyTagPool) }
 
 // Name implements proto.Tracker.
 func (t *Tiny) Name() string {
@@ -118,17 +126,25 @@ func (t *Tiny) Entries() int { return t.tags.Capacity() }
 // findLines locates the data block line and the spilled tracking entry
 // line for addr, either of which may be nil.
 func (t *Tiny) findLines(addr uint64) (db, sp *proto.LLCLine) {
-	t.env.LLC().ScanSet(addr, func(l *proto.LLCLine) bool {
-		if l.Addr != addr {
-			return true
+	llc := t.env.LLC()
+	tags := llc.TagsIn(addr)
+	for w := range tags {
+		if tags[w] != addr {
+			continue
+		}
+		l := &llc.LinesIn(addr)[w]
+		if !l.Valid || l.Addr != addr {
+			continue
 		}
 		if l.Meta.Spill {
 			sp = l
 		} else {
 			db = l
 		}
-		return db == nil || sp == nil
-	})
+		if db != nil && sp != nil {
+			return
+		}
+	}
 	return
 }
 

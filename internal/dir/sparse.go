@@ -29,6 +29,12 @@ type Sparse struct {
 	victims   uint64
 	overflows uint64
 	inflated  uint64 // cores added to sharer sets by lossy encoding
+
+	// victimBuf backs the BackInvals slice of returned Effects. A Commit
+	// displaces at most one entry, and the caller consumes the Effects
+	// before its next Commit (bank.apply runs synchronously and never
+	// re-enters Commit), so one scratch backing serves every call.
+	victimBuf []proto.Victim
 }
 
 // NewSparse builds a sparse directory slice with the given number of
@@ -50,19 +56,23 @@ func NewSparseWithFormat(entries int, f Format) *Sparse {
 	return d
 }
 
+// dirTagPool recycles directory tag arrays across the back-to-back
+// same-geometry machines a sweep constructs (see cache.Pool).
+var dirTagPool cache.Pool[proto.Entry]
+
 func newDirTags(entries int) *cache.Cache[proto.Entry] {
 	if entries <= 0 {
 		panic("dir: non-positive entry count")
 	}
 	if entries < 32 {
-		return cache.New[proto.Entry](1, entries, cache.NRU)
+		return cache.NewIn(&dirTagPool, 1, entries, cache.NRU)
 	}
 	ways := 8
 	sets := entries / ways
 	if sets == 0 {
 		sets, ways = 1, entries
 	}
-	return cache.New[proto.Entry](sets, ways, cache.NRU)
+	return cache.NewIn(&dirTagPool, sets, ways, cache.NRU)
 }
 
 // Name implements proto.Tracker.
@@ -96,8 +106,11 @@ func (d *Sparse) get(addr uint64) (proto.Entry, bool) {
 	if l := d.tags.Lookup(addr); l != nil {
 		return l.Meta, true
 	}
-	e, ok := d.overflow[addr]
-	return e, ok
+	if len(d.overflow) > 0 {
+		e, ok := d.overflow[addr]
+		return e, ok
+	}
+	return proto.Entry{}, false
 }
 
 // Commit implements proto.Tracker.
@@ -138,11 +151,16 @@ func (d *Sparse) Commit(addr uint64, kind proto.ReqKind, from int, next proto.En
 	}
 	if had {
 		d.victims++
-		eff.BackInvals = append(eff.BackInvals, proto.Victim{Addr: ev.Addr, E: ev.Meta})
+		d.victimBuf = append(d.victimBuf[:0], proto.Victim{Addr: ev.Addr, E: ev.Meta})
+		eff.BackInvals = d.victimBuf
 	}
 	l.Meta = next
 	return eff
 }
+
+// ReleaseStorage returns the tag array to the pool (see
+// System.ReleaseStorage); the directory is unusable afterwards.
+func (d *Sparse) ReleaseStorage() { d.tags.Release(&dirTagPool) }
 
 // OnLLCVictim implements proto.Tracker. A sparse directory keeps tracking
 // independent of LLC residency, so nothing happens.

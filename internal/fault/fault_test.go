@@ -121,6 +121,46 @@ func TestBlackoutWindow(t *testing.T) {
 	}
 }
 
+// TestBlackoutBoundarySemantics pins the window's boundary comparison
+// exactly: [BlackoutFrom, BlackoutUntil) is half-open. A message sent at
+// precisely BlackoutFrom is suppressed; one at precisely BlackoutUntil is
+// delivered. MeshDraw is the only consumer of the window, so there is no
+// second path that could disagree about the endpoints (the off-by-one this
+// table guards against). An empty window [t, t) suppresses nothing.
+func TestBlackoutBoundarySemantics(t *testing.T) {
+	f := New(Config{Seed: 5, BlackoutFrom: 100, BlackoutUntil: 200}, 1)
+	cases := []struct {
+		name string
+		now  uint64
+		drop bool
+	}{
+		{"before window", 99, false},
+		{"at window start", 100, true},
+		{"inside window", 150, true},
+		{"last covered cycle", 199, true},
+		{"at window end", 200, false},
+		{"after window", 201, false},
+	}
+	for _, c := range cases {
+		if v := f.MeshDraw(0, c.now, true); v.Drop != c.drop {
+			t.Errorf("%s (now=%d): drop=%v, want %v", c.name, c.now, v.Drop, c.drop)
+		}
+	}
+	// Degenerate window: From == Until covers zero cycles. A config with
+	// only such a window injects nothing and disables the injector
+	// entirely; combined with a live drop rate of zero it must never
+	// suppress, including at the shared endpoint.
+	if New(Config{Seed: 5, BlackoutFrom: 100, BlackoutUntil: 100}, 1) != nil {
+		t.Error("empty blackout window enabled the injector")
+	}
+	g := New(Config{Seed: 5, MeshDelay: 0.5, BlackoutFrom: 100, BlackoutUntil: 100}, 1)
+	for _, now := range []uint64{99, 100, 101} {
+		if v := g.MeshDraw(0, now, true); v.Drop {
+			t.Errorf("empty window dropped a message at now=%d", now)
+		}
+	}
+}
+
 // TestJitterBounds: jitter is always in [1, MaxJitter] when a delay
 // fires.
 func TestJitterBounds(t *testing.T) {

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 )
 
@@ -79,14 +80,18 @@ func bucketLow(i int) uint64 {
 }
 
 // Quantile returns the upper bound of the bucket containing the q-th
-// sample (q in [0,1]), or 0 for an empty histogram. The exact Max is
-// returned for the last occupied bucket so p100 (and any quantile landing
-// there) never overstates the tail.
+// sample (q in [0,1]), or 0 for an empty histogram. The rank is the
+// nearest-rank ceiling ⌈q·Count⌉ — the smallest k such that at least a
+// fraction q of the samples are ≤ the k-th — computed with a relative
+// slop so float representation error (0.7*10 = 6.999…, 0.95*20 =
+// 19.000…01) neither under- nor overshoots an exact integer product.
+// The exact Max is returned for the last occupied bucket so p100 (and
+// any quantile landing there) never overstates the tail.
 func (h *Hist) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.Count))
+	rank := uint64(math.Ceil(q * float64(h.Count) * (1 - 1e-12)))
 	if rank < 1 {
 		rank = 1
 	}

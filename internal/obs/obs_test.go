@@ -50,6 +50,70 @@ func TestHistQuantileClampsToMax(t *testing.T) {
 	}
 }
 
+// TestHistQuantileOneSample: for a single sample every quantile IS that
+// sample — never the log2 bucket bound above it (which for 1000 would be
+// 1023) and never 0.
+func TestHistQuantileOneSample(t *testing.T) {
+	var h Hist
+	h.Observe(1000)
+	for _, q := range []float64{0, 0.01, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Errorf("q=%v = %d, want 1000", q, got)
+		}
+	}
+}
+
+// TestHistQuantileAllSameBucket: when every sample lands in one bucket,
+// derived percentiles must clamp to the observed max (1000), not report
+// the bucket upper bound (1023).
+func TestHistQuantileAllSameBucket(t *testing.T) {
+	var h Hist
+	for i := 0; i < 5; i++ {
+		h.Observe(1000) // all in bucket 10: [512,1023]
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Errorf("q=%v = %d, want clamped max 1000", q, got)
+		}
+	}
+}
+
+// TestHistQuantileNearestRank pins the ⌈q·N⌉ nearest-rank rule. The old
+// floor-based rank dropped the tail sample: p99 of ten samples selected
+// rank 9 (floor 9.9) instead of 10, reporting 1 for a distribution whose
+// true p99 is the 2^20 outlier.
+func TestHistQuantileNearestRank(t *testing.T) {
+	var h Hist
+	for i := 0; i < 9; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1 << 20)
+	if got := h.Quantile(0.99); got != 1<<20 {
+		t.Errorf("p99 = %d, want %d (nearest rank 10 of 10)", got, uint64(1)<<20)
+	}
+	// Float-representation slop: 0.7*10 is 6.999…96 in float64; the rank
+	// must still be ceil(7) = 7, not 6. The 7th sorted sample of
+	// {1,2,2,4,4,4,8,8,8,8} is 8 (bucket cums 1,3,6,10).
+	var g Hist
+	for _, v := range []uint64{1, 2, 2, 4, 4, 4, 8, 8, 8, 8} {
+		g.Observe(v)
+	}
+	if got := g.Quantile(0.7); got != 8 {
+		t.Errorf("p70 = %d, want 8 (rank 7 lands in bucket [8,15], clamped to max 8)", got)
+	}
+	// And the other direction: 0.95*20 floats to 19.000…013; ceiling with
+	// slop must keep rank 19, not jump to 20. 19th of twenty ones plus a
+	// big outlier is still 1.
+	var k Hist
+	for i := 0; i < 19; i++ {
+		k.Observe(1)
+	}
+	k.Observe(1 << 20)
+	if got := k.Quantile(0.95); got != 1 {
+		t.Errorf("p95 = %d, want 1 (rank 19 of 20)", got)
+	}
+}
+
 func TestLatencyRecorderDumps(t *testing.T) {
 	var l LatencyRecorder
 	l.Record(LatL1Hit, 4)

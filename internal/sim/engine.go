@@ -5,6 +5,8 @@
 // fully deterministic for a given input.
 package sim
 
+import "math/bits"
+
 // Time is an absolute simulation time in core cycles.
 type Time uint64
 
@@ -30,9 +32,9 @@ type event struct {
 	fn   func()
 }
 
-// before reports heap ordering: (time, sequence). Sequence numbers are unique
-// so the order is total and runs are reproducible regardless of how the heap
-// arranges equal-priority internals.
+// before reports queue ordering: (time, sequence). Sequence numbers are
+// unique so the order is total and runs are reproducible regardless of how
+// either tier arranges equal-priority internals.
 func (a *event) before(b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -40,19 +42,55 @@ func (a *event) before(b *event) bool {
 	return a.seq < b.seq
 }
 
+// The calendar ring covers the dense near-future window [now, now+ringHorizon).
+// Nearly every event in the simulated machine lands here: mesh hops are 6
+// cycles, bank tag/data latencies are small constants, and even an uncontended
+// DRAM fill is a few hundred cycles. Only the fault-protocol timers (request
+// and evict retransmits at 4000+ cycles with exponential backoff, the 50k-cycle
+// bank transaction check) fall outside and take the overflow heap. The horizon
+// is a power of two so the slot of cycle t is a mask, not a division.
+const (
+	ringHorizon = 1024
+	ringMask    = ringHorizon - 1
+)
+
+// ringBucket holds the events of one cycle, in schedule (= sequence) order.
+// head indexes the next undrained event; the tail keeps its capacity across
+// reuse so steady-state scheduling allocates nothing.
+type ringBucket struct {
+	ev   []event
+	head int
+}
+
 // Engine is a deterministic discrete-event scheduler.
 //
-// The zero value is ready to use. Events live as structs inside a growable
-// slice-backed binary heap: pushing and popping moves values within the
-// backing array with no boxing and no per-event allocation once the slice has
-// grown to the steady-state high-water mark.
+// The zero value is ready to use. Events live in a two-tier calendar queue:
+//
+//   - ring: one bucket per cycle of the near-future window [now, now+1024).
+//     Push is an append (slot = at & mask); pop scans a 1024-bit occupancy
+//     bitmap from the current cycle's slot — O(1) with tiny constants, no
+//     sift traffic. Each bucket drains as a batch in append order, which is
+//     sequence order, so the (time, seq) total order is preserved exactly.
+//   - overflow: a small binary heap ordered by (time, seq) for events at
+//     least a horizon away (retry/backoff timers, watchdog checks). For any
+//     cycle T, every overflow-resident event was scheduled at sim time
+//     ≤ T-1024, strictly before any ring-resident event for T could have
+//     been scheduled (those require now > T-1024), so overflow events carry
+//     strictly smaller sequence numbers and are drained first on a tie.
+//
+// Together the two rules reproduce bit-for-bit the pop order of a single
+// (time, seq) binary heap, at a fraction of the per-event cost.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  []event
 	nexec  uint64
 	halted bool
 	watch  func(Time, uint64)
+
+	ring  []ringBucket // ringHorizon buckets; nil until the first push
+	occ   []uint64     // occupancy bitmap, one bit per ring slot
+	ringN int          // events resident in the ring
+	over  []event      // overflow binary heap, (time, seq) ordered
 }
 
 // Now returns the current simulation time.
@@ -61,9 +99,57 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.nexec }
 
-// push inserts ev and sifts it up to its heap position.
+// Tiers reports how many pending events reside in each tier of the calendar
+// queue: the near-future ring and the far-future overflow heap. Snapshot
+// tests use it to prove a checkpoint exercised both tiers.
+func (e *Engine) Tiers() (ring, overflow int) { return e.ringN, len(e.over) }
+
+// push routes ev to the ring when it lands inside the near-future window and
+// to the overflow heap otherwise. checkTime has already ensured ev.at >= now,
+// so the unsigned difference is the true distance.
 func (e *Engine) push(ev event) {
-	q := e.queue
+	if e.ring == nil {
+		e.ring = make([]ringBucket, ringHorizon)
+		e.occ = make([]uint64, ringHorizon/64)
+	}
+	if ev.at-e.now < ringHorizon {
+		s := int(ev.at) & ringMask
+		b := &e.ring[s]
+		b.ev = append(b.ev, ev)
+		e.occ[s>>6] |= 1 << uint(s&63)
+		e.ringN++
+		return
+	}
+	e.pushOver(ev)
+}
+
+// scanRing returns the slot of the earliest ring event. Ring events all
+// satisfy now <= at < now+ringHorizon, so scanning slots from the current
+// cycle's position (wrapping once) visits cycles in increasing order; the
+// occupancy bitmap makes each probe a word test. The caller guarantees
+// ringN > 0. In the common case — the next event is within a few cycles —
+// the first word test hits.
+func (e *Engine) scanRing() int {
+	s := int(e.now) & ringMask
+	w := s >> 6
+	words := len(e.occ)
+	word := e.occ[w] &^ (1<<uint(s&63) - 1)
+	for i := 0; i <= words; i++ {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w == words {
+			w = 0
+		}
+		word = e.occ[w]
+	}
+	panic("sim: occupancy bitmap empty with ringN > 0")
+}
+
+// pushOver inserts ev into the overflow heap and sifts it up.
+func (e *Engine) pushOver(ev event) {
+	q := e.over
 	i := len(q)
 	q = append(q, ev)
 	for i > 0 {
@@ -74,14 +160,14 @@ func (e *Engine) push(ev event) {
 		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
-	e.queue = q
+	e.over = q
 }
 
-// pop removes and returns the minimum event. The vacated tail slot is zeroed
-// so the retired event's handler and closure references are GC-able instead
-// of pinned by the backing array (see TestQueueReleasesReferences).
-func (e *Engine) pop() event {
-	q := e.queue
+// popOver removes and returns the minimum overflow event. The vacated tail
+// slot is zeroed so the retired event's handler and closure references are
+// GC-able instead of pinned by the backing array.
+func (e *Engine) popOver() event {
+	q := e.over
 	min := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
@@ -103,8 +189,25 @@ func (e *Engine) pop() event {
 		q[i], q[small] = q[small], q[i]
 		i = small
 	}
-	e.queue = q
+	e.over = q
 	return min
+}
+
+// popRing removes and returns the head event of slot s, zeroing the drained
+// slot (see TestQueueReleasesReferences) and releasing the bucket when the
+// batch is exhausted.
+func (e *Engine) popRing(s int) event {
+	b := &e.ring[s]
+	ev := b.ev[b.head]
+	b.ev[b.head] = event{}
+	b.head++
+	e.ringN--
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+		e.occ[s>>6] &^= 1 << uint(s&63)
+	}
+	return ev
 }
 
 func (e *Engine) checkTime(t Time) {
@@ -125,7 +228,7 @@ func (e *Engine) At(t Time, fn func()) {
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
 // ScheduleAt schedules h.OnEvent(op, addr, arg) at absolute time t without
-// allocating: the event is a struct in the heap's backing array and h is a
+// allocating: the event is a struct in a bucket's backing array and h is a
 // pre-existing component pointer.
 func (e *Engine) ScheduleAt(t Time, h Handler, op int, addr uint64, arg int64) {
 	e.checkTime(t)
@@ -146,17 +249,30 @@ func (e *Engine) ScheduleAfter(d Time, h Handler, op int, addr uint64, arg int64
 func (e *Engine) SetWatch(fn func(Time, uint64)) { e.watch = fn }
 
 // Pending reports whether any events remain.
-func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+func (e *Engine) Pending() bool { return e.ringN+len(e.over) > 0 }
 
 // Halt stops Run before the next event is dispatched.
 func (e *Engine) Halt() { e.halted = true }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	var ev event
+	if e.ringN > 0 {
+		s := e.scanRing()
+		b := &e.ring[s]
+		if len(e.over) > 0 && e.over[0].at <= b.ev[b.head].at {
+			// Same cycle: the overflow event was scheduled a full
+			// horizon earlier in sim time, so its sequence number is
+			// smaller — it goes first.
+			ev = e.popOver()
+		} else {
+			ev = e.popRing(s)
+		}
+	} else if len(e.over) > 0 {
+		ev = e.popOver()
+	} else {
 		return false
 	}
-	ev := e.pop()
 	e.now = ev.at
 	e.nexec++
 	if ev.h != nil {

@@ -218,28 +218,166 @@ func TestEngineHandlerPastPanics(t *testing.T) {
 	e.Run(0)
 }
 
-// TestQueueReleasesReferences pins the Pop slot-zeroing fix: after Run
-// drains, the heap's backing array must not keep retired events' handler and
-// closure pointers alive. Before the fix, popped slots kept their old
-// contents, pinning every closure's captured graph until the next push
-// overwrote the slot (or forever, at the high-water mark).
+// TestQueueReleasesReferences pins drained-slot zeroing: after Run drains,
+// neither tier's backing arrays may keep retired events' handler and closure
+// pointers alive. Ring buckets and the overflow heap both persist at their
+// high-water capacity, so a non-zeroed slot would pin a closure's captured
+// graph until the next push overwrote it (or forever).
 func TestQueueReleasesReferences(t *testing.T) {
 	var e Engine
 	for i := 0; i < 100; i++ {
 		big := make([]byte, 1024)
-		e.At(Time(i), func() { _ = big })
-		e.ScheduleAt(Time(i), &recorder{eng: &e}, 0, 0, 0)
+		e.At(Time(i), func() { _ = big })                  // ring tier
+		e.ScheduleAt(Time(i), &recorder{eng: &e}, 0, 0, 0) // ring tier, pooled
+		far := make([]byte, 1024)
+		e.At(Time(i)+2*ringHorizon, func() { _ = far }) // overflow tier
 	}
 	e.Run(0)
 	if e.Pending() {
 		t.Fatal("queue should be drained")
 	}
-	// The backing array persists at its high-water capacity; every slot in it
-	// must be zero so the GC can collect the retired events' referents.
-	for i, ev := range e.queue[:cap(e.queue)] {
-		if ev.fn != nil || ev.h != nil {
-			t.Fatalf("slot %d retains references after drain: %+v", i, ev)
+	for s := range e.ring {
+		b := e.ring[s].ev
+		for i, ev := range b[:cap(b)] {
+			if ev.fn != nil || ev.h != nil {
+				t.Fatalf("ring slot %d/%d retains references after drain: %+v", s, i, ev)
+			}
 		}
+	}
+	for i, ev := range e.over[:cap(e.over)] {
+		if ev.fn != nil || ev.h != nil {
+			t.Fatalf("overflow slot %d retains references after drain: %+v", i, ev)
+		}
+	}
+}
+
+// refHeap is the pre-calendar binary heap in its original (time, seq)
+// form, kept as the ordering oracle for the differential test below.
+type refHeap struct {
+	q []event
+}
+
+func (h *refHeap) push(ev event) {
+	q := append(h.q, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	h.q = q
+}
+
+func (h *refHeap) pop() event {
+	q := h.q
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q[l].before(&q[small]) {
+			small = l
+		}
+		if r < n && q[r].before(&q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	h.q = q
+	return min
+}
+
+// TestCalendarVsHeapDifferential drives the calendar queue and the reference
+// binary heap with an identical randomized schedule — 10k operations mixing
+// near-future pushes (inside the ring horizon), far-future pushes (overflow
+// tier), same-cycle pushes, and pops — and requires the identical pop order,
+// event by event. Pops advance a shared simulated clock so both structures
+// see the same `now` when routing pushes.
+func TestCalendarVsHeapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var e Engine
+	var ref refHeap
+	h := &recorder{eng: &e}
+	seq := uint64(0)
+	now := Time(0)
+	pending := 0
+	const ops = 10000
+	for i := 0; i < ops; i++ {
+		if pending > 0 && rng.Intn(3) == 0 {
+			// Pop from both; compare (at, seq) and payload.
+			want := ref.pop()
+			// Drive the engine's pop path directly (no dispatch).
+			var got event
+			if e.ringN > 0 {
+				s := e.scanRing()
+				b := &e.ring[s]
+				if len(e.over) > 0 && e.over[0].at <= b.ev[b.head].at {
+					got = e.popOver()
+				} else {
+					got = e.popRing(s)
+				}
+			} else {
+				got = e.popOver()
+			}
+			if got.at != want.at || got.seq != want.seq || got.addr != want.addr {
+				t.Fatalf("op %d: pop (t=%d seq=%d addr=%#x), heap wants (t=%d seq=%d addr=%#x)",
+					i, got.at, got.seq, got.addr, want.at, want.seq, want.addr)
+			}
+			now = got.at
+			e.now = now
+			pending--
+			continue
+		}
+		var d Time
+		switch rng.Intn(4) {
+		case 0:
+			d = 0 // same cycle
+		case 1:
+			d = Time(rng.Intn(64)) // dense near future
+		case 2:
+			d = Time(rng.Intn(2 * ringHorizon)) // straddles the horizon
+		default:
+			d = Time(ringHorizon + rng.Intn(8*ringHorizon)) // deep overflow
+		}
+		seq++
+		ev := event{at: now + d, seq: seq, h: h, addr: uint64(seq)}
+		e.push(ev)
+		ref.push(ev)
+		pending++
+	}
+	for pending > 0 {
+		want := ref.pop()
+		var got event
+		if e.ringN > 0 {
+			s := e.scanRing()
+			b := &e.ring[s]
+			if len(e.over) > 0 && e.over[0].at <= b.ev[b.head].at {
+				got = e.popOver()
+			} else {
+				got = e.popRing(s)
+			}
+		} else {
+			got = e.popOver()
+		}
+		if got.at != want.at || got.seq != want.seq || got.addr != want.addr {
+			t.Fatalf("drain: pop (t=%d seq=%d addr=%#x), heap wants (t=%d seq=%d addr=%#x)",
+				got.at, got.seq, got.addr, want.at, want.seq, want.addr)
+		}
+		e.now = got.at
+		pending--
+	}
+	if e.Pending() {
+		t.Fatal("calendar queue not drained")
 	}
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // EventState is one pending event in serializable form. The Handler is kept
 // as an interface value: the caller (internal/system) owns the mapping
@@ -15,30 +18,64 @@ type EventState struct {
 }
 
 // SaveState captures the engine's complete state: current time, sequence
-// counter, executed-event count, and the pending queue in heap-array order
-// (a valid heap layout, so RestoreState reproduces the exact pop order).
+// counter, executed-event count, and the pending queue sorted by (time, seq)
+// — the execution order, independent of how events are distributed between
+// the calendar ring and the overflow heap, so saved bytes are deterministic.
 // Closure events (At/After) cannot be serialized and make SaveState fail;
 // the simulated system schedules exclusively through the pooled
 // handler path, so this only trips on legacy test/tool schedules.
 func (e *Engine) SaveState() (now Time, seq, nexec uint64, events []EventState, err error) {
-	events = make([]EventState, len(e.queue))
-	for i := range e.queue {
-		ev := &e.queue[i]
+	events = make([]EventState, 0, e.ringN+len(e.over))
+	add := func(ev *event) error {
 		if ev.fn != nil {
-			return 0, 0, 0, nil, fmt.Errorf("sim: pending closure event (seq %d at t=%d) is not serializable", ev.seq, ev.at)
+			return fmt.Errorf("sim: pending closure event (seq %d at t=%d) is not serializable", ev.seq, ev.at)
 		}
-		events[i] = EventState{At: ev.at, Seq: ev.seq, Op: ev.op, Addr: ev.addr, Arg: ev.arg, H: ev.h}
+		events = append(events, EventState{At: ev.at, Seq: ev.seq, Op: ev.op, Addr: ev.addr, Arg: ev.arg, H: ev.h})
+		return nil
 	}
+	for i := range e.ring {
+		b := &e.ring[i]
+		for j := b.head; j < len(b.ev); j++ {
+			if err := add(&b.ev[j]); err != nil {
+				return 0, 0, 0, nil, err
+			}
+		}
+	}
+	for i := range e.over {
+		if err := add(&e.over[i]); err != nil {
+			return 0, 0, 0, nil, err
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Seq < events[j].Seq
+	})
 	return e.now, e.seq, e.nexec, events, nil
 }
 
-// RestoreState overwrites the engine with a previously saved state. events
-// must be in the order SaveState produced (heap-array order).
+// RestoreState overwrites the engine with a previously saved state. Events
+// are accepted in any order: they are sorted into (time, seq) order before
+// placement so ring buckets fill in sequence order (the batch-drain order),
+// which also keeps snapshots written by the older heap-ordered format
+// restorable.
 func (e *Engine) RestoreState(now Time, seq, nexec uint64, events []EventState) {
 	e.now, e.seq, e.nexec = now, seq, nexec
 	e.halted = false
-	e.queue = make([]event, len(events))
-	for i, ev := range events {
-		e.queue[i] = event{at: ev.At, seq: ev.Seq, h: ev.H, op: ev.Op, addr: ev.Addr, arg: ev.Arg}
+	e.ring = nil
+	e.occ = nil
+	e.ringN = 0
+	e.over = nil
+	sorted := make([]EventState, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].At != sorted[j].At {
+			return sorted[i].At < sorted[j].At
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+	for _, ev := range sorted {
+		e.push(event{at: ev.At, seq: ev.Seq, h: ev.H, op: ev.Op, addr: ev.Addr, arg: ev.Arg})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"tinydir/internal/bitvec"
 	"tinydir/internal/blockmap"
 	"tinydir/internal/cache"
+	"tinydir/internal/intern"
 	"tinydir/internal/mesh"
 	"tinydir/internal/proto"
 	"tinydir/internal/sim"
@@ -51,9 +52,16 @@ type bankNode struct {
 	id      int
 	llc     *proto.LLC
 	tracker proto.Tracker
-	// busy maps block address -> in-flight transaction; open-addressed
-	// because it is probed on every message arrival.
-	busy blockmap.Map[*txn]
+	// itab interns this bank's block addresses into dense ids (per run,
+	// first-touch order); busy maps those ids to in-flight transactions.
+	// The busy table is probed on every message arrival, and the id key
+	// turns each probe into a direct array index (see blockmap.IDMap).
+	itab intern.Table
+	busy blockmap.IDMap[*txn]
+	// freeTxns pools released transaction records so the steady state
+	// allocates none; holdersBuf backs backInvalidate's holder list.
+	freeTxns   []*txn
+	holdersBuf []int
 
 	// Fault-mode duplicate suppression (nil when faults are off): the
 	// highest request / evict-notice sequence number observed per core,
@@ -70,7 +78,7 @@ func newBankNode(sys *System, id int) *bankNode {
 	b := &bankNode{
 		sys: sys,
 		id:  id,
-		llc: cache.New[proto.LLCMeta](sys.cfg.LLCSets, sys.cfg.LLCWays, cache.LRU),
+		llc: cache.NewIn(&llcPool, sys.cfg.LLCSets, sys.cfg.LLCWays, cache.LRU),
 	}
 	if sys.flt != nil {
 		b.reqSeen = make([]int32, sys.cfg.Cores)
@@ -86,6 +94,82 @@ func newBankNode(sys *System, id int) *bankNode {
 	return b
 }
 
+// busyScanMax bounds the linear busy-set probe: up to this many in-flight
+// transactions, busyGet compares interned addresses directly (two array
+// loads per entry, no hashing); beyond it, the probe falls back to the
+// intern table's hash lookup. A bank's busy set is almost always empty or
+// a handful of entries, and victim-scan predicates probe it for every
+// candidate way, so the scan path is the hot one.
+const busyScanMax = 8
+
+// busyGet returns the in-flight transaction holding addr busy, or nil.
+func (b *bankNode) busyGet(addr uint64) *txn {
+	n := b.busy.Len()
+	if n == 0 {
+		return nil
+	}
+	if n <= busyScanMax {
+		for i := 0; i < n; i++ {
+			if id, t := b.busy.At(i); b.itab.Addr(id) == addr {
+				return t
+			}
+		}
+		return nil
+	}
+	if id, ok := b.itab.Lookup(addr); ok {
+		if t, ok := b.busy.Get(id); ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// busyHas reports whether addr is busy.
+func (b *bankNode) busyHas(addr uint64) bool {
+	return b.busyGet(addr) != nil
+}
+
+// busyPut marks addr busy with t, interning the address on first touch.
+func (b *bankNode) busyPut(addr uint64, t *txn) { b.busy.Put(b.itab.ID(addr), t) }
+
+// busyDelete drops addr's busy marker (no-op when absent). The caller
+// recycles the transaction via freeTxn once done with it.
+func (b *bankNode) busyDelete(addr uint64) {
+	if id, ok := b.itab.Lookup(addr); ok {
+		b.busy.Delete(id)
+	}
+}
+
+// releaseBusy drops addr's busy marker and recycles its transaction in
+// one step (for call sites that no longer need the record).
+func (b *bankNode) releaseBusy(addr uint64) {
+	if t := b.busyGet(addr); t != nil {
+		b.busyDelete(addr)
+		b.freeTxn(t)
+	}
+}
+
+// newTxn returns a zeroed transaction record, reusing a pooled one when
+// available. Pooled records are indistinguishable from &txn{}.
+func (b *bankNode) newTxn() *txn {
+	if n := len(b.freeTxns); n > 0 {
+		t := b.freeTxns[n-1]
+		b.freeTxns[n-1] = nil
+		b.freeTxns = b.freeTxns[:n-1]
+		return t
+	}
+	return &txn{}
+}
+
+// freeTxn recycles a released transaction record. Every field is dropped,
+// including the Entry and fwdExcl bitvectors: committed sharer sets are
+// owned by the tracker after Commit, so retaining their backing here
+// would alias live state.
+func (b *bankNode) freeTxn(t *txn) {
+	*t = txn{}
+	b.freeTxns = append(b.freeTxns, t)
+}
+
 // bankEnv adapts bankNode to proto.BankEnv.
 type bankEnv bankNode
 
@@ -94,7 +178,7 @@ func (e *bankEnv) Cores() int              { return e.sys.cfg.Cores }
 func (e *bankEnv) Now() sim.Time           { return e.sys.eng.Now() }
 func (e *bankEnv) BankID() int             { return e.id }
 func (e *bankEnv) BankShift() uint         { return e.sys.cfg.bankShift() }
-func (e *bankEnv) IsBusy(addr uint64) bool { return e.busy.Has(addr) }
+func (e *bankEnv) IsBusy(addr uint64) bool { return (*bankNode)(e).busyHas(addr) }
 func (e *bankEnv) FindHolders(addr uint64) proto.Entry {
 	return (*bankNode)(e).sys.findHolders(addr)
 }
@@ -102,15 +186,16 @@ func (e *bankEnv) FindHolders(addr uint64) proto.Entry {
 // dataLine returns the valid LLC line holding addr as a data block
 // (skipping a spilled tracking entry with the same tag).
 func (b *bankNode) dataLine(addr uint64) *proto.LLCLine {
-	var dl *proto.LLCLine
-	b.llc.ScanSet(addr, func(l *proto.LLCLine) bool {
-		if l.Addr == addr && !l.Meta.Spill {
-			dl = l
-			return false
+	tags := b.llc.TagsIn(addr)
+	for w := range tags {
+		if tags[w] == addr {
+			l := &b.llc.LinesIn(addr)[w]
+			if l.Valid && l.Addr == addr && !l.Meta.Spill {
+				return l
+			}
 		}
-		return true
-	})
-	return dl
+	}
+	return nil
 }
 
 // seqNewer reports whether seq is strictly newer than the last-seen
@@ -138,7 +223,7 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int, seq uint16)
 		flt.Stats.DupReqs++
 		return
 	}
-	if b.busy.Has(addr) {
+	if b.busyHas(addr) {
 		m.Nacks++
 		b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Processor, b.sys.cores[c], copNack, addr, 0)
 		return
@@ -189,7 +274,8 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int, seq uint16)
 		m.SpillAvoided++
 	}
 
-	t := &txn{kind: kind, requester: c, view: view, startedAt: b.sys.eng.Now()}
+	t := b.newTxn()
+	t.kind, t.requester, t.view, t.startedAt = kind, c, view, b.sys.eng.Now()
 	if flt != nil {
 		// Acceptance: record the sequence number for duplicate
 		// suppression and arm the transaction age check.
@@ -198,7 +284,7 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int, seq uint16)
 		t.gen = b.txnGen
 		b.sys.eng.ScheduleAfter(sim.Time(flt.BankTimeout()), b, bopTxnCheck, addr, int64(t.gen))
 	}
-	b.busy.Put(addr, t)
+	b.busyPut(addr, t)
 
 	lat := b.sys.cfg.LLCTagLat + sim.Time(view.ExtraLatency)
 	if llcHit {
@@ -219,7 +305,7 @@ func (b *bankNode) handleReq(addr uint64, kind proto.ReqKind, c int, seq uint16)
 }
 
 func (b *bankNode) dispatch(addr uint64, kind proto.ReqKind, c int, view proto.View) {
-	if t, ok := b.busy.Get(addr); ok {
+	if t := b.busyGet(addr); t != nil {
 		t.pre = view.E
 	}
 	e := view.E
@@ -256,7 +342,7 @@ func (b *bankNode) dispatchRead(addr uint64, kind proto.ReqKind, c int, view pro
 		dl := b.dataLine(addr)
 		if dl != nil && !view.SupplyFromLLC {
 			// Corrupted-shared: elect a sharer to supply (three hops).
-			t, _ := b.busy.Get(addr)
+			t := b.busyGet(addr)
 			s := b.electSharer(e.Sharers, c, t.fwdExcl)
 			if s >= 0 {
 				b.forward(addr, kind, c, s, true)
@@ -269,7 +355,7 @@ func (b *bankNode) dispatchRead(addr uint64, kind proto.ReqKind, c int, view pro
 		}
 		if dl != nil {
 			b.respond(addr, c, psS, 1, 0, false, false)
-			b.commitAndRelease(addr, kind, c, next)
+			b.commitAndRelease(addr, kind, c, next, dl)
 			return
 		}
 		// Tracked shared but not LLC-resident: clean copies exist, memory
@@ -287,7 +373,7 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 	case proto.Exclusive:
 		b.forward(addr, kind, c, e.Owner, false)
 	case proto.Shared:
-		t, _ := b.busy.Get(addr)
+		t := b.busyGet(addr)
 		needData := kind == proto.GetX || !e.Sharers.Test(c)
 		dl := b.dataLine(addr)
 		dataFromLLC := needData && view.SupplyFromLLC && dl != nil
@@ -315,7 +401,7 @@ func (b *bankNode) dispatchWrite(addr uint64, kind proto.ReqKind, c int, view pr
 				mode = 1
 			}
 			b.respond(addr, c, psM, mode, 0, false, false)
-			b.commitAndRelease(addr, kind, c, t.next)
+			b.commitAndRelease(addr, kind, c, t.next, dl)
 			return
 		}
 		// Grant plus invalidations; the requester collects the acks and
@@ -373,9 +459,9 @@ func (b *bankNode) electSharer(sharers bitvec.Vec, not int, excl bitvec.Vec) int
 
 // supplyFromLLCOrMem answers a request to an unowned block.
 func (b *bankNode) supplyFromLLCOrMem(addr uint64, c int, grant privState, next proto.Entry, kind proto.ReqKind) {
-	if b.dataLine(addr) != nil {
+	if dl := b.dataLine(addr); dl != nil {
 		b.respond(addr, c, grant, 1, 0, false, false)
-		b.commitAndRelease(addr, kind, c, next)
+		b.commitAndRelease(addr, kind, c, next, dl)
 		return
 	}
 	b.fetchRespond(addr, c, grant, next, kind)
@@ -386,7 +472,7 @@ func (b *bankNode) supplyFromLLCOrMem(addr uint64, c int, grant privState, next 
 // entry to commit ride in the transaction until the data returns
 // (memFetchDone).
 func (b *bankNode) fetchRespond(addr uint64, c int, grant privState, next proto.Entry, kind proto.ReqKind) {
-	t, _ := b.busy.Get(addr)
+	t := b.busyGet(addr)
 	if t == nil || t.kind != kind || t.requester != c {
 		panic(fmt.Sprintf("bank %d: fetch for mismatched transaction %#x", b.id, addr))
 	}
@@ -401,15 +487,16 @@ func (b *bankNode) fetchRespond(addr uint64, c int, grant privState, next proto.
 // bank: fill the LLC (NACK the requester if no way can be allocated),
 // respond and commit.
 func (b *bankNode) memFetchDone(addr uint64) {
-	t, _ := b.busy.Get(addr)
+	t := b.busyGet(addr)
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: fetched data for idle block %#x", b.id, addr))
 	}
-	if line := b.fill(addr); line == nil {
+	line := b.fill(addr)
+	if line == nil {
 		// Could not allocate an LLC way (every candidate busy): NACK so
 		// the requester retries.
 		b.traceDone(addr, "nack")
-		b.busy.Delete(addr)
+		b.busyDelete(addr)
 		b.sys.metrics.Nacks++
 		if b.sys.flt != nil {
 			// The retry reuses this request's sequence number: roll the
@@ -419,10 +506,11 @@ func (b *bankNode) memFetchDone(addr uint64) {
 		}
 		b.sys.net.SendEvent(b.id, t.requester, mesh.CtrlBytes, mesh.Processor,
 			b.sys.cores[t.requester], copNack, addr, 0)
+		b.freeTxn(t)
 		return
 	}
 	b.respond(addr, t.requester, t.grant, 1, 0, false, true)
-	b.commitAndRelease(addr, t.kind, t.requester, t.next)
+	b.commitAndRelease(addr, t.kind, t.requester, t.next, line)
 }
 
 // forward sends a three-hop forward to the owner (or elected sharer);
@@ -449,10 +537,12 @@ func (b *bankNode) respond(addr uint64, c int, grant privState, dataMode, wantAc
 
 // commitAndRelease commits the post-transaction state now and releases
 // the busy marker one cycle after the response lands at the requester
-// (so a forward can never outrun the fill).
-func (b *bankNode) commitAndRelease(addr uint64, kind proto.ReqKind, from int, next proto.Entry) {
+// (so a forward can never outrun the fill). dl is addr's LLC data line
+// if the caller already located it in this event (nil otherwise); the
+// LLC cannot have changed since, so the lookup need not be repeated.
+func (b *bankNode) commitAndRelease(addr uint64, kind proto.ReqKind, from int, next proto.Entry, dl *proto.LLCLine) {
 	b.traceDone(addr, "")
-	b.commit(addr, kind, from, next)
+	b.commit(addr, kind, from, next, dl)
 	release := b.sys.net.Latency(b.id, from) + 1
 	b.sys.eng.ScheduleAfter(release, b, bopRelease, addr, 0)
 }
@@ -465,7 +555,7 @@ func (b *bankNode) commitAndRelease(addr uint64, kind proto.ReqKind, from int, n
 // set, so the loop terminates in the memory-supply fallback at the latest)
 // and the transaction is re-evaluated against the tracker's current state.
 func (b *bankNode) onFwdMiss(addr uint64, kind proto.ReqKind, c, missedAt int) {
-	t, _ := b.busy.Get(addr)
+	t := b.busyGet(addr)
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: forward-miss for idle block %#x", b.id, addr))
 	}
@@ -488,12 +578,13 @@ func (b *bankNode) onFwdMiss(addr uint64, kind proto.ReqKind, c, missedAt int) {
 
 // onBusyClear completes a three-hop transaction.
 func (b *bankNode) onBusyClear(addr uint64, retained, copybackDirty bool) {
-	t, _ := b.busy.Get(addr)
+	t := b.busyGet(addr)
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: busy-clear for idle block %#x", b.id, addr))
 	}
+	dl := b.dataLine(addr)
 	if copybackDirty {
-		if dl := b.dataLine(addr); dl != nil {
+		if dl != nil {
 			dl.Meta.Dirty = true
 			b.sys.metrics.LLCDataWrites++
 		} else {
@@ -518,29 +609,31 @@ func (b *bankNode) onBusyClear(addr uint64, retained, copybackDirty bool) {
 		next = proto.Entry{State: proto.Exclusive, Owner: t.requester}
 	}
 	b.traceDone(addr, "")
-	b.commit(addr, t.kind, t.requester, next)
-	b.busy.Delete(addr)
+	b.commit(addr, t.kind, t.requester, next, dl)
+	b.busyDelete(addr)
+	b.freeTxn(t)
 }
 
 // onComplete finishes a requester-completion transaction (GetX/Upg with
 // invalidations).
 func (b *bankNode) onComplete(addr uint64) {
-	t, _ := b.busy.Get(addr)
+	t := b.busyGet(addr)
 	if t == nil {
 		panic(fmt.Sprintf("bank %d: completion for idle block %#x", b.id, addr))
 	}
 	b.traceDone(addr, "")
-	b.commit(addr, t.kind, t.requester, t.next)
-	b.busy.Delete(addr)
+	b.commit(addr, t.kind, t.requester, t.next, b.dataLine(addr))
+	b.busyDelete(addr)
+	b.freeTxn(t)
 }
 
 // commit pushes the post-transaction state into the tracker and executes
-// the side effects.
-func (b *bankNode) commit(addr uint64, kind proto.ReqKind, from int, next proto.Entry) {
-	// Ensure tracked blocks granted to cores are LLC-resident (fill on
-	// miss); three-hop paths may commit without a line for schemes that
-	// keep state outside the LLC.
-	if dl := b.dataLine(addr); dl != nil && next.State == proto.Shared {
+// the side effects. dl is addr's LLC data line as located by the caller
+// within this same event, or nil when the block is not LLC-resident
+// (three-hop paths may commit without a line for schemes that keep state
+// outside the LLC).
+func (b *bankNode) commit(addr uint64, kind proto.ReqKind, from int, next proto.Entry, dl *proto.LLCLine) {
+	if dl != nil && next.State == proto.Shared {
 		if n := next.Sharers.Count(); n > dl.Meta.MaxSharers {
 			dl.Meta.MaxSharers = n
 		}
@@ -572,21 +665,24 @@ func (b *bankNode) apply(eff proto.Effects) {
 // tracking entry was displaced. The block is held busy until all
 // acknowledgements return.
 func (b *bankNode) backInvalidate(v proto.Victim) {
-	holders := make([]int, 0, 8)
+	holders := b.holdersBuf[:0]
 	switch v.E.State {
 	case proto.Exclusive:
 		holders = append(holders, v.E.Owner)
 	case proto.Shared:
 		v.E.Sharers.ForEach(func(s int) { holders = append(holders, s) })
 	}
+	b.holdersBuf = holders
 	if len(holders) == 0 {
 		return
 	}
 	b.sys.metrics.BackInvals++
-	if b.busy.Has(v.Addr) {
+	if b.busyHas(v.Addr) {
 		panic(fmt.Sprintf("bank %d: back-invalidation of busy block %#x", b.id, v.Addr))
 	}
-	b.busy.Put(v.Addr, &txn{backInvalAcks: len(holders), startedAt: b.sys.eng.Now()})
+	t := b.newTxn()
+	t.backInvalAcks, t.startedAt = len(holders), b.sys.eng.Now()
+	b.busyPut(v.Addr, t)
 	for _, h := range holders {
 		b.sys.net.SendEvent(b.id, h, mesh.CtrlBytes, mesh.Coherence,
 			b.sys.cores[h], copInv, v.Addr, pk(-1, int16(b.id), 0, 0))
@@ -594,14 +690,15 @@ func (b *bankNode) backInvalidate(v proto.Victim) {
 }
 
 func (b *bankNode) onBackInvAck(addr uint64) {
-	t, _ := b.busy.Get(addr)
+	t := b.busyGet(addr)
 	if t == nil || t.backInvalAcks == 0 {
 		panic(fmt.Sprintf("bank %d: unexpected back-inval ack for %#x", b.id, addr))
 	}
 	t.backInvalAcks--
 	if t.backInvalAcks == 0 {
 		b.traceDone(addr, "back-inval")
-		b.busy.Delete(addr)
+		b.busyDelete(addr)
+		b.freeTxn(t)
 	}
 }
 
@@ -627,7 +724,9 @@ func (b *bankNode) eccRecover(addr uint64, kind proto.ReqKind, c int) {
 	b.apply(eff)
 	cores := b.sys.cfg.Cores
 	flt.Stats.ECCInvals += uint64(cores)
-	b.busy.Put(addr, &txn{backInvalAcks: cores, startedAt: b.sys.eng.Now()})
+	t := b.newTxn()
+	t.backInvalAcks, t.startedAt = cores, b.sys.eng.Now()
+	b.busyPut(addr, t)
 	for i := 0; i < cores; i++ {
 		b.sys.net.SendEvent(b.id, i, mesh.CtrlBytes, mesh.Coherence,
 			b.sys.cores[i], copInv, addr, pk(-1, int16(b.id), 0, 0))
@@ -643,7 +742,7 @@ func (b *bankNode) onTxnCheck(addr uint64, gen uint64) {
 	if flt == nil {
 		return
 	}
-	if t, _ := b.busy.Get(addr); t != nil && t.gen == gen {
+	if t := b.busyGet(addr); t != nil && t.gen == gen {
 		flt.Stats.BankTxnLate++
 	}
 }
@@ -662,7 +761,7 @@ func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int, seq uint1
 		}
 		b.evictSeen[c] = int32(seq)
 	}
-	if b.busy.Has(addr) {
+	if b.busyHas(addr) {
 		m.Nacks++
 		b.sys.net.SendEvent(b.id, c, mesh.CtrlBytes, mesh.Writeback,
 			b.sys.cores[c], copEvictNack, addr, 0)
@@ -691,15 +790,15 @@ func (b *bankNode) handleEvict(addr uint64, kind proto.ReqKind, c int, seq uint1
 			if dl != nil {
 				dl.Meta.Dirty = true
 				m.LLCDataWrites++
-			} else if line := b.fill(addr); line != nil {
-				line.Meta.Dirty = true
+			} else if dl = b.fill(addr); dl != nil {
+				dl.Meta.Dirty = true
 				m.LLCDataWrites++
 			} else {
 				b.sys.net.Account(b.id, b.sys.memTile(addr), mesh.DataBytes, mesh.Writeback)
 				b.sys.mem.Write(addr)
 			}
 		}
-		b.commit(addr, kind, c, next)
+		b.commit(addr, kind, c, next, dl)
 	}
 	// Acknowledge so the core releases its eviction buffer. Stale
 	// notices (the copy was invalidated while the notice was in flight)

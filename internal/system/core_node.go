@@ -67,6 +67,11 @@ type coreNode struct {
 	pos  int
 
 	out *outstanding
+	// outBuf backs out: a core has at most one in-flight demand miss, so
+	// the record is embedded and overwritten per miss instead of
+	// allocated. No pointer to it survives past the event that retires
+	// the miss (maybeComplete's local is dead before step reuses it).
+	outBuf outstanding
 	// evictBuf holds blocks between eviction notice and acknowledgement;
 	// open-addressed because it is probed on every miss issue and forward.
 	evictBuf blockmap.Map[evictEntry]
@@ -118,9 +123,9 @@ func newCoreNode(sys *System, id int, refs []trace.Ref) *coreNode {
 	c := &coreNode{
 		sys:  sys,
 		id:   id,
-		l1i:  cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
-		l1d:  cache.New[privMeta](cfg.L1Sets, cfg.L1Ways, cache.LRU),
-		l2:   cache.New[privMeta](cfg.L2Sets, cfg.L2Ways, cache.LRU),
+		l1i:  cache.NewIn(&privPool, cfg.L1Sets, cfg.L1Ways, cache.LRU),
+		l1d:  cache.NewIn(&privPool, cfg.L1Sets, cfg.L1Ways, cache.LRU),
+		l2:   cache.NewIn(&privPool, cfg.L2Sets, cfg.L2Ways, cache.LRU),
 		refs: refs,
 	}
 	return c
@@ -149,7 +154,10 @@ func (c *coreNode) step() {
 			if ref.Kind != trace.Store || l.Meta.st == psM || l.Meta.st == psE {
 				// Plain hit (E->M upgrade is silent).
 				l1.Touch(l)
-				if ref.Kind == trace.Store {
+				if ref.Kind == trace.Store && l.Meta.st != psM {
+					// First store to this copy: an L1 line in M implies the
+					// L2 copy is already M (fills and downgrades keep them
+					// in lockstep), so repeat stores skip the L2 probe.
 					l.Meta.st = psM
 					if l2l := c.l2.Lookup(ref.Addr); l2l != nil {
 						l2l.Meta.st = psM
@@ -201,7 +209,7 @@ func (c *coreNode) step() {
 			}
 		}
 		c.reqSeq++
-		c.out = &outstanding{
+		c.outBuf = outstanding{
 			addr:     ref.Addr,
 			kind:     kind,
 			ifetch:   ref.Kind == trace.Ifetch,
@@ -209,6 +217,7 @@ func (c *coreNode) step() {
 			seq:      c.reqSeq,
 			issuedAt: eng.Now() + elapsed,
 		}
+		c.out = &c.outBuf
 		c.sys.metrics.PrivateMisses++
 		eng.ScheduleAfter(elapsed+c.sys.cfg.L1Lat+c.sys.cfg.L2Lat, c, copSendReq, ref.Addr, 0)
 		return

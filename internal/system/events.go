@@ -133,13 +133,13 @@ func (b *bankNode) OnEvent(op int, addr uint64, arg int64) {
 		kind, core, seq, _ := unpk(arg)
 		b.handleReq(addr, proto.ReqKind(kind), int(core), uint16(seq))
 	case bopDispatch:
-		t, _ := b.busy.Get(addr)
+		t := b.busyGet(addr)
 		if t == nil {
 			panic(fmt.Sprintf("bank %d: dispatch for idle block %#x", b.id, addr))
 		}
 		b.dispatch(addr, t.kind, t.requester, t.view)
 	case bopRelease:
-		b.busy.Delete(addr)
+		b.releaseBusy(addr)
 	case bopBusyClear:
 		retained, dirty, _, _ := unpk(arg)
 		b.onBusyClear(addr, retained != 0, dirty != 0)

@@ -142,8 +142,8 @@ func (b *bankNode) traceDone(addr uint64, outcome string) {
 	if r == nil || r.Trace == nil {
 		return
 	}
-	t, ok := b.busy.Get(addr)
-	if !ok {
+	t := b.busyGet(addr)
+	if t == nil {
 		return
 	}
 	name := outcome

@@ -443,7 +443,7 @@ func (c *coreNode) loadState(r *snapshot.Reader) error {
 	c.finishAt = sim.Time(r.U64())
 	c.retries = r.U64()
 	if r.Bool() {
-		c.out = &outstanding{
+		c.outBuf = outstanding{
 			addr:       r.U64(),
 			kind:       proto.ReqKind(r.Int()),
 			ifetch:     r.Bool(),
@@ -456,8 +456,9 @@ func (c *coreNode) loadState(r *snapshot.Reader) error {
 			notifyHome: r.Bool(),
 			done:       r.Bool(),
 		}
-		c.out.seq = uint16(r.Int())
-		c.out.xmits = uint8(r.Int())
+		c.outBuf.seq = uint16(r.Int())
+		c.outBuf.xmits = uint8(r.Int())
+		c.out = &c.outBuf
 	} else {
 		c.out = nil
 	}
@@ -501,8 +502,8 @@ func (c *coreNode) loadState(r *snapshot.Reader) error {
 func (b *bankNode) saveState(w *snapshot.Writer) {
 	cache.SaveState(w, b.llc, proto.PutLLCMeta)
 	w.Int(b.busy.Len())
-	for _, a := range sortedBlockmapAddrs(&b.busy) {
-		t, _ := b.busy.Get(a)
+	for _, a := range sortedBusyAddrs(b) {
+		t := b.busyGet(a)
 		w.U64(a)
 		w.Int(int(t.kind))
 		w.Int(t.requester)
@@ -533,7 +534,9 @@ func (b *bankNode) loadState(r *snapshot.Reader) error {
 	if err := cache.LoadState(r, b.llc, proto.GetLLCMeta); err != nil {
 		return err
 	}
-	clearBlockmap(&b.busy)
+	for _, a := range sortedBusyAddrs(b) {
+		b.busyDelete(a)
+	}
 	for i, n := 0, r.Int(); i < n && r.Err() == nil; i++ {
 		a := r.U64()
 		t := &txn{
@@ -553,7 +556,7 @@ func (b *bankNode) loadState(r *snapshot.Reader) error {
 		t.grant = privState(r.Int())
 		t.fwdExcl = proto.GetVec(r)
 		t.gen = r.U64()
-		b.busy.Put(a, t)
+		b.busyPut(a, t)
 	}
 	if b.reqSeen != nil {
 		b.txnGen = r.U64()
@@ -569,6 +572,16 @@ func (b *bankNode) loadState(r *snapshot.Reader) error {
 }
 
 // --- helpers ---
+
+// sortedBusyAddrs walks a bank's id-keyed busy table and returns the
+// underlying block addresses ascending: snapshots store addresses, never
+// intern ids, so serialized bytes are independent of interning history.
+func sortedBusyAddrs(b *bankNode) []uint64 {
+	addrs := make([]uint64, 0, b.busy.Len())
+	b.busy.ForEach(func(id int32, _ *txn) { addrs = append(addrs, b.itab.Addr(id)) })
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
 
 // sortedBlockmapAddrs walks an open-addressed table (slot order) and sorts
 // the keys so serialized bytes do not depend on insertion history.

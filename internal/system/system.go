@@ -15,6 +15,16 @@ import (
 	"tinydir/internal/trace"
 )
 
+// Cache-slab pools shared by every System built in this process: sweeps
+// construct hundreds of identically-sized machines back to back, and
+// recycling the line storage removes the dominant construction cost
+// (zeroing multi-megabyte LLC and private-cache slabs per run). See
+// cache.Pool for why reuse cannot change simulation results.
+var (
+	privPool cache.Pool[privMeta]
+	llcPool  cache.Pool[proto.LLCMeta]
+)
+
 // System is one fully-wired simulated machine.
 type System struct {
 	cfg   Config
@@ -204,6 +214,26 @@ func (s *System) Complete(maxEvents uint64) Metrics {
 	return s.metrics
 }
 
+// ReleaseStorage returns the machine's cache slabs to the process-wide
+// pools for reuse by a later System. Call it only when the machine is
+// finished and will not be touched again (metrics extracted, no pending
+// Save); the caches are unusable afterwards. Trackers that pool their
+// own tag arrays release them through the optional interface.
+func (s *System) ReleaseStorage() {
+	for _, c := range s.cores {
+		c.l1i.Release(&privPool)
+		c.l1d.Release(&privPool)
+		c.l2.Release(&privPool)
+	}
+	type releaser interface{ ReleaseStorage() }
+	for _, b := range s.banks {
+		b.llc.Release(&llcPool)
+		if r, ok := b.tracker.(releaser); ok {
+			r.ReleaseStorage()
+		}
+	}
+}
+
 func (s *System) collect() {
 	s.flushObs()
 	m := &s.metrics
@@ -368,9 +398,9 @@ func (s *System) DumpStall() string {
 	}
 	for _, bk := range s.banks {
 		for _, addr := range sortedAddrs(bk.busy.Len(), func(fn func(uint64)) {
-			bk.busy.ForEach(func(a uint64, _ *txn) { fn(a) })
+			bk.busy.ForEach(func(id int32, _ *txn) { fn(bk.itab.Addr(id)) })
 		}) {
-			t, _ := bk.busy.Get(addr)
+			t := bk.busyGet(addr)
 			add("bank %d busy %#x kind=%v req=%d backInvalAcks=%d\n",
 				bk.id, addr, t.kind, t.requester, t.backInvalAcks)
 		}

@@ -8,7 +8,11 @@ package tracefile
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
+	"hash/crc32"
+	"hash/crc64"
 	"io"
+	"strings"
 	"testing"
 
 	"tinydir/internal/trace"
@@ -66,17 +70,57 @@ func fuzzSeed() []byte {
 	return buf.Bytes()
 }
 
+// wrapSeed hand-crafts a container whose second record's address delta
+// (-10 against a running address of 5) underflows uint64 — every frame
+// checksum is valid, so the input reaches the delta decoder and only the
+// wraparound check can reject it. The writer refuses to produce such a
+// file, which is why it is assembled from the raw format here.
+func wrapSeed() []byte {
+	var hdr bytes.Buffer
+	hdr.WriteString(magic)
+	le(&hdr, uint32(FormatVersion))
+	uv(&hdr, uint64(len("wrap")))
+	hdr.WriteString("wrap")
+	le(&hdr, uint32(1)) // one core
+	le(&hdr, uint32(0)) // no stats
+	le(&hdr, crc32.ChecksumIEEE(hdr.Bytes()))
+
+	var body bytes.Buffer
+	uv(&body, 2) // two records
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], 5) // addr 0 -> 5
+	body.Write(tmp[:n])
+	body.WriteByte(0) // kind
+	body.WriteByte(0) // gap
+	n = binary.PutVarint(tmp[:], -10) // addr 5 - 10: wraps below zero
+	body.Write(tmp[:n])
+	body.WriteByte(0)
+	body.WriteByte(0)
+
+	trailer := make([]byte, 8)
+	binary.LittleEndian.PutUint64(trailer, crc64.Checksum(body.Bytes(), crc64Table))
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(hdr.Bytes())
+	zw.Write(body.Bytes())
+	zw.Write(trailer)
+	zw.Close()
+	return buf.Bytes()
+}
+
 // FuzzTraceReader throws arbitrary bytes at Read. The only acceptable
 // outcomes are a decoded file or a clean error; the corpus seeds cover
 // the interesting corruption classes (bit flips at every 7th offset of
 // both the compressed stream and the recompressed payload, truncations,
-// wrong container).
+// wrong container, address-delta wraparound).
 func FuzzTraceReader(f *testing.F) {
 	seed := fuzzSeed()
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add([]byte(magic))
 	f.Add(seed[:len(seed)-9])
+	f.Add(wrapSeed())
 	for i := 0; i < len(seed); i += 7 {
 		flipped := append([]byte(nil), seed...)
 		flipped[i] ^= 0x40
@@ -116,6 +160,32 @@ func FuzzTraceReader(f *testing.F) {
 			t.Fatalf("accepted file fails to re-encode: %v", err)
 		}
 	})
+}
+
+// TestWrapDeltaRejected pins the wraparound fix: before it, the crafted
+// stream decoded "successfully" with record 1 aliased to block address
+// 2^64-5, silently colliding with whatever legitimately maps there.
+func TestWrapDeltaRejected(t *testing.T) {
+	_, err := Read(bytes.NewReader(wrapSeed()))
+	if err == nil {
+		t.Fatal("wrapping address delta decoded without error")
+	}
+	if !strings.Contains(err.Error(), "wraps uint64") {
+		t.Fatalf("unexpected error for wrapping delta: %v", err)
+	}
+}
+
+// TestWriterRejectsWrappingJump pins the writer-side mirror: an address
+// jump of 2^63 or more cannot be represented as a signed delta and must
+// fail at Write time, not produce a file the reader rejects.
+func TestWriterRejectsWrappingJump(t *testing.T) {
+	f := &File{
+		Name:   "jump",
+		Traces: [][]trace.Ref{{{Addr: 1 << 63, Kind: trace.Load}}},
+	}
+	if _, err := Write(io.Discard, f); err == nil {
+		t.Fatal("writer accepted an un-encodable address jump")
+	}
 }
 
 // TestFuzzSeedRoundTrips pins the corpus seed itself.

@@ -126,12 +126,22 @@ func Write(w io.Writer, f *File) (string, error) {
 	le(&hdr, crc32.ChecksumIEEE(hdr.Bytes()))
 
 	var body bytes.Buffer
-	for _, refs := range f.Traces {
+	for c, refs := range f.Traces {
 		uv(&body, uint64(len(refs)))
 		prev := uint64(0)
 		var tmp [binary.MaxVarintLen64 + 2]byte
-		for _, r := range refs {
-			n := binary.PutVarint(tmp[:], int64(r.Addr-prev))
+		for i, r := range refs {
+			delta := int64(r.Addr - prev)
+			// Mirror of the reader's wraparound check: the signed
+			// delta must reproduce the address without wrapping
+			// uint64, i.e. consecutive addresses may differ by at
+			// most 2^63-1. Real block addresses are nowhere near
+			// that; fail fast instead of writing a file the reader
+			// will reject.
+			if (delta > 0 && r.Addr < prev) || (delta < 0 && r.Addr > prev) {
+				return "", fmt.Errorf("tracefile: core %d record %d address jump %#x -> %#x exceeds the delta range", c, i, prev, r.Addr)
+			}
+			n := binary.PutVarint(tmp[:], delta)
 			prev = r.Addr
 			tmp[n] = byte(r.Kind)
 			tmp[n+1] = r.Gap
@@ -302,7 +312,17 @@ func Read(r io.Reader) (*File, error) {
 			if err != nil {
 				return nil, errTruncated(err)
 			}
-			prev += uint64(delta)
+			// Deltas encode the exact signed difference between
+			// consecutive addresses; a crafted delta whose unsigned
+			// addition wraps uint64 would silently alias a far-away
+			// block address, so wraparound is a decode error. (The
+			// writer never produces one: consecutive addresses in a
+			// legal trace differ by well under 2^63.)
+			next := prev + uint64(delta)
+			if (delta > 0 && next < prev) || (delta < 0 && next > prev) {
+				return nil, fmt.Errorf("tracefile: core %d record %d address delta %d wraps uint64 (prev %#x)", c, i, delta, prev)
+			}
+			prev = next
 			kind, err := br.ReadByte()
 			if err != nil {
 				return nil, errTruncated(err)

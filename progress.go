@@ -108,13 +108,23 @@ func (r *Reporter) runFailed(app, scheme, msg, artifact string) {
 }
 
 // etaLocked estimates time to finish the planned runs from sweep
-// throughput so far. Callers hold mu.
+// throughput so far. The rate is based on *executed* simulations only:
+// store-served runs complete in ~0 wall time, so counting them (as this
+// once did) made a mostly-warm resume report a wildly optimistic ETA for
+// the cold tail. With nothing executed yet there is no throughput signal
+// and no estimate; a zero-elapsed clock likewise yields none rather than
+// a zero rate. Callers hold mu.
 func (r *Reporter) etaLocked() (time.Duration, bool) {
-	if r.planned < r.done || r.done == 0 {
+	executed := r.done - r.served
+	if r.planned < r.done || executed <= 0 {
+		return 0, false
+	}
+	elapsed := time.Since(r.start)
+	if elapsed <= 0 {
 		return 0, false
 	}
 	remaining := r.planned - r.done
-	per := time.Since(r.start) / time.Duration(r.done)
+	per := elapsed / time.Duration(executed)
 	return time.Duration(remaining) * per, true
 }
 

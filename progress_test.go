@@ -90,6 +90,50 @@ func TestReporterETAAndCounters(t *testing.T) {
 	}
 }
 
+// TestReporterETAIgnoresServedRuns pins the resume-ETA fix: store-served
+// runs finish in ~0 wall time and must not count toward the throughput the
+// ETA is derived from. Here 8 of 10 done runs were served and 2 executed
+// over ~10s of sweep time, so the per-sim rate is ~5s and the 2 remaining
+// runs should report an ETA near 10s. The old done-based rate said ~1s per
+// run and an ETA near 2s.
+func TestReporterETAIgnoresServedRuns(t *testing.T) {
+	rep := NewReporter(nil)
+	rep.addPlanned(12)
+	rep.start = time.Now().Add(-10 * time.Second)
+	for i := 0; i < 8; i++ {
+		rep.runDone("warm", "sparse-2x", false, 0)
+	}
+	rep.runDone("cold", "sparse-2x", true, 5*time.Second)
+	rep.runDone("cold2", "sparse-2x", true, 5*time.Second)
+
+	rep.mu.Lock()
+	eta, ok := rep.etaLocked()
+	rep.mu.Unlock()
+	if !ok {
+		t.Fatal("no ETA with executed runs present")
+	}
+	if eta < 9*time.Second || eta > 11*time.Second {
+		t.Fatalf("eta = %v, want ~10s (2 remaining x ~5s per executed sim)", eta)
+	}
+}
+
+// TestReporterETAAllServed: a fully warm resume has executed nothing, so
+// there is no throughput to extrapolate from — the reporter must decline
+// to estimate instead of deriving a zero-rate ETA from served runs.
+func TestReporterETAAllServed(t *testing.T) {
+	rep := NewReporter(nil)
+	rep.addPlanned(8)
+	for i := 0; i < 4; i++ {
+		rep.runDone("warm", "sparse-2x", false, 0)
+	}
+	rep.mu.Lock()
+	_, ok := rep.etaLocked()
+	rep.mu.Unlock()
+	if ok {
+		t.Fatal("ETA offered with zero executed sims")
+	}
+}
+
 // TestReporterNilWriter checks that a reporter without an output sink
 // still tracks counters (the -q + -http combination).
 func TestReporterNilWriter(t *testing.T) {

@@ -1,0 +1,102 @@
+package tinydir
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tinydir/internal/fault"
+	"tinydir/internal/system"
+	"tinydir/internal/trace"
+)
+
+// buildFaultSystem constructs the machine Run would simulate for o with the
+// fault-injection layer armed (buildSystem ignores the fault knobs).
+func buildFaultSystem(o Options) *system.System {
+	o = normalizeOptions(o)
+	cfg := o.Scale.machine()
+	cfg.NewTracker = o.Scheme.newTracker(cfg)
+	if o.FaultRate > 0 {
+		cfg.Faults = fault.Uniform(o.FaultSeed, o.FaultRate)
+	}
+	gen := trace.NewGen(o.App, cfg.Cores)
+	return system.New(cfg, gen.Traces(o.Scale.Refs))
+}
+
+// TestSnapshotQueueTiersRoundTrip pins the calendar-queue scheduler's
+// snapshot behavior in its hardest configuration: checkpoints taken while
+// BOTH tiers hold events. Ordinary machine latencies all land inside the
+// 1024-cycle ring; only the fault protocol's retransmit and watchdog timers
+// (4000–50000 cycles out) reach the overflow heap, so the scenario runs
+// with fault injection armed. At every such checkpoint:
+//
+//  1. Save is a pure function of machine state: re-saving the restored
+//     machine reproduces the original snapshot byte for byte.
+//  2. The restored machine's queue populates both tiers again (restore
+//     re-routes each event by its distance from the restored now, not by
+//     the tier it was saved from).
+//  3. The restored machine finishes with exactly the uninterrupted run's
+//     metrics, and so does the machine that was saved.
+func TestSnapshotQueueTiersRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-mode replay matrix is slow")
+	}
+	for _, cores := range []int{16, 128} {
+		t.Run(fmt.Sprintf("%dc", cores), func(t *testing.T) {
+			o := Options{
+				App:       App("barnes"),
+				Scheme:    TinyDirectory(1.0/64, true, true),
+				Scale:     Scale{Name: fmt.Sprintf("qtier%d", cores), Cores: cores, Refs: 400},
+				FaultRate: 0.01,
+				FaultSeed: 0xC0FFEE,
+			}
+			want := Run(o).Metrics
+			maxEvents := normalizeOptions(o).MaxEvents
+
+			sys := buildFaultSystem(o)
+			sys.Start()
+			checkpoints := 0
+			for batch := 0; checkpoints < 3 && batch < 4096; batch++ {
+				if sys.RunEvents(512) == 0 {
+					break // queue drained before enough checkpoints
+				}
+				ring, over := sys.Engine().Tiers()
+				if ring == 0 || over == 0 {
+					continue
+				}
+				checkpoints++
+
+				var buf bytes.Buffer
+				if err := sys.Save(&buf); err != nil {
+					t.Fatalf("Save at checkpoint %d: %v", checkpoints, err)
+				}
+				fresh := buildFaultSystem(o)
+				if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatalf("Restore at checkpoint %d: %v", checkpoints, err)
+				}
+				if fr, fo := fresh.Engine().Tiers(); fr == 0 || fo == 0 {
+					t.Errorf("checkpoint %d: restored queue tiers ring=%d overflow=%d; saved with ring=%d overflow=%d — restore lost a tier",
+						checkpoints, fr, fo, ring, over)
+				}
+				var again bytes.Buffer
+				if err := fresh.Save(&again); err != nil {
+					t.Fatalf("re-Save at checkpoint %d: %v", checkpoints, err)
+				}
+				if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+					t.Errorf("checkpoint %d: re-save of restored machine is not byte-identical to the snapshot it was restored from", checkpoints)
+				}
+				if got := fresh.Complete(maxEvents); !reflect.DeepEqual(got, want) {
+					t.Errorf("checkpoint %d (ring=%d overflow=%d): restored run diverged:\ngot  %+v\nwant %+v",
+						checkpoints, ring, over, got, want)
+				}
+			}
+			if checkpoints == 0 {
+				t.Fatalf("no checkpoint found with both tiers populated; fault timers should reach the overflow heap")
+			}
+			if cont := sys.Complete(maxEvents); !reflect.DeepEqual(cont, want) {
+				t.Errorf("saving perturbed the running machine:\ngot  %+v\nwant %+v", cont, want)
+			}
+		})
+	}
+}

@@ -342,8 +342,14 @@ const deadlineChunk = 1 << 16
 // unbounded path is exactly Complete — one engine call, no added work in
 // the hot loop.
 func completeBounded(sys *system.System, o Options, start time.Time) Metrics {
+	// The machine is dead after this function (its metrics are the only
+	// output), so its cache slabs go back to the construction pools. A
+	// timeout panic skips the release; the abandoned slabs are simply
+	// collected.
 	if o.Timeout <= 0 {
-		return sys.Complete(o.MaxEvents)
+		m := sys.Complete(o.MaxEvents)
+		sys.ReleaseStorage()
+		return m
 	}
 	for {
 		budget := uint64(deadlineChunk)
@@ -364,5 +370,7 @@ func completeBounded(sys *system.System, o Options, start time.Time) Metrics {
 				Elapsed: elapsed, Dump: sys.DumpStall()})
 		}
 	}
-	return sys.Complete(o.MaxEvents)
+	m := sys.Complete(o.MaxEvents)
+	sys.ReleaseStorage()
+	return m
 }
