@@ -17,7 +17,7 @@
 //	experiments -fig 1 -obs-dir obs              # epoch CSV + latency histograms per run
 //	experiments -fig 1 -obs-dir obs -obs-epochs 1000 -obs-trace 200000
 //	experiments -watchdog 2000000                # dump stalled machine state to stderr
-//	experiments -http localhost:6060             # live sweep monitor (expvar "sweep") + pprof
+//	experiments -http localhost:6060             # live dashboard + expvar "sweep" + pprof
 //
 // Observability is pure observation — every figure and stored result is
 // bit-identical with it on or off — but instrumented runs skip warmup
@@ -27,10 +27,28 @@
 // pool of -j goroutines. Output is bit-identical at any -j: figures are
 // always assembled serially from deterministic per-run results.
 //
+// The sweep also distributes (DESIGN.md §12). A coordinator plans the
+// figures and serves runs as leased work units; pull-based workers on
+// other machines (or terminals) execute them against the coordinator's
+// run store mounted over HTTP:
+//
+//	experiments -serve -http :6060 -cache-dir runs -fig 1 -csv   # coordinator
+//	experiments -worker http://localhost:6060                    # each worker
+//	experiments -store-gc 720h -cache-dir runs                   # prune stale entries
+//	experiments -store-gc 720h -store-gc-dry-run -cache-dir runs # preview only
+//
+// Figure output from a distributed sweep is byte-identical to a local
+// run: workers dedup through the same content-addressed store and the
+// coordinator assembles figures from the same serial pass. In -serve
+// mode, -j bounds how many units are outstanding at once — size it to at
+// least the fleet's total parallelism.
+//
 // Robustness (DESIGN.md §10): a run that panics or blows -run-timeout is
 // quarantined (post-mortem under <obs-dir>/quarantine/) while the sweep
-// continues; the process then exits nonzero with a failure summary. The
-// deterministic fault-injection soak runs via:
+// continues; the process then exits nonzero with a failure summary.
+// SIGINT/SIGTERM shuts a sweep down gracefully: in-flight runs finish
+// and flush to the store, then the process prints a progress summary and
+// exits 130. The deterministic fault-injection soak runs via:
 //
 //	experiments -soak 32                         # 32 seeds x {sparse, tiny, stash}
 //	experiments -soak 8 -fault-rate 0.05 -fault-seed 7
@@ -50,15 +68,20 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -http serves /debug/pprof/ for live sweeps
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"tinydir"
@@ -70,7 +93,7 @@ func main() {
 		scale      = flag.String("scale", "experiment", "test | experiment | full")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jobs       = flag.Int("j", runtime.NumCPU(), "max simulations run concurrently (1 = serial)")
+		jobs       = flag.Int("j", runtime.NumCPU(), "max simulations run concurrently (1 = serial); in -serve mode, max outstanding work units")
 		cacheDir   = flag.String("cache-dir", "", "persist per-run results and warmup checkpoints in this directory")
 		resume     = flag.Bool("resume", false, "serve results already present in -cache-dir instead of re-simulating")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -79,7 +102,13 @@ func main() {
 		obsEpochs  = flag.Uint64("obs-epochs", 0, "epoch sampling interval in cycles (0 = off; -obs-dir alone defaults it)")
 		obsTrace   = flag.Int("obs-trace", 0, "max Chrome trace-event spans recorded per run (0 = off; needs -obs-dir)")
 		watchdog   = flag.Uint64("watchdog", 0, "dump machine state when no core retires for this many cycles (0 = off)")
-		httpAddr   = flag.String("http", "", "serve the live sweep monitor (expvar + pprof) on this address")
+		httpAddr   = flag.String("http", "", "serve the live sweep dashboard (plus expvar + pprof) on this address")
+		serveMode  = flag.Bool("serve", false, "coordinate a distributed sweep: serve planned runs as work units to -worker processes (needs -http and -cache-dir)")
+		workerURL  = flag.String("worker", "", "join the fleet of the coordinator at this base URL (e.g. http://host:6060) instead of planning figures")
+		workerName = flag.String("worker-name", "", "worker identity in leases and on the dashboard (default: hostname-pid)")
+		workerLRU  = flag.Int64("worker-cache", 64<<20, "worker-side in-memory result cache over the coordinator's store, in bytes (0 = none)")
+		storeGC    = flag.Duration("store-gc", 0, "prune -cache-dir entries older than this age and exit (e.g. 720h)")
+		storeGCDry = flag.Bool("store-gc-dry-run", false, "with -store-gc: report what would be pruned without deleting")
 		soak       = flag.Int("soak", 0, "run a fault-injection soak over this many seeds per scheme instead of figures")
 		soakApp    = flag.String("soak-app", "", "pin -soak to one workload (default: rotate barnes + the five families)")
 		traceFile  = flag.String("trace-file", "", "replay a trace file (tracegen -write) through one scheme instead of figures")
@@ -93,6 +122,18 @@ func main() {
 
 	if *resume && *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -cache-dir")
+		os.Exit(2)
+	}
+	if *storeGC > 0 {
+		runStoreGC(*cacheDir, *storeGC, *storeGCDry)
+		return
+	}
+	if *workerURL != "" {
+		runWorker(*workerURL, *workerName, *workerLRU, *runTimeout, *quiet)
+		return
+	}
+	if *serveMode && (*httpAddr == "" || *cacheDir == "") {
+		fmt.Fprintln(os.Stderr, "experiments: -serve requires -http (the listener workers connect to) and -cache-dir (the shared run store)")
 		os.Exit(2)
 	}
 
@@ -174,41 +215,133 @@ func main() {
 	}
 	suite.Obs = obsCfg
 	suite.ObsDir = *obsDir
+
+	var svc *tinydir.SweepService
+	if *serveMode {
+		if *obsDir != "" {
+			fmt.Fprintln(os.Stderr, "experiments: note: dispatched runs execute on workers; -obs-dir records no per-run artifacts in -serve mode")
+		}
+		svc = tinydir.AttachSweepService(suite, suite.Store, http.DefaultServeMux)
+	}
 	if *httpAddr != "" {
+		// Bind before planning anything so a taken port fails the sweep
+		// up front instead of from an unmonitored goroutine minutes in.
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: http:", err)
+			os.Exit(1)
+		}
 		mon := suite.Monitor()
 		expvar.Publish("sweep", expvar.Func(func() interface{} { return mon.Snapshot() }))
+		dash := &tinydir.Dashboard{Reporter: mon, ObsDir: *obsDir}
+		if svc != nil {
+			dash.Fleet = func() interface{} { return svc.Coord.Status() }
+		}
+		dash.Register(http.DefaultServeMux)
 		go func() {
 			// DefaultServeMux already carries expvar's /debug/vars and
 			// pprof's /debug/pprof from their imports.
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: http:", err)
 			}
 		}()
 	}
+
+	// Graceful shutdown: first signal stops new runs (in-flight ones
+	// finish and flush their results to the store); a second signal kills
+	// the process the usual way.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		signal.Stop(sig)
+		fmt.Fprintln(os.Stderr, "experiments: interrupted — letting in-flight runs finish and flush (again to kill)")
+		suite.Cancel()
+		if svc != nil {
+			svc.Close()
+		}
+	}()
+
 	start := time.Now()
+	interrupted := func() {
+		st := suite.Monitor().Snapshot()
+		fmt.Fprintf(os.Stderr, "experiments: interrupted after %s: %d/%d runs done (%d served from store, %d failed); completed results are in the store\n",
+			time.Since(start).Round(time.Second), st.Done, st.Planned, st.Served, st.Failed)
+		os.Exit(130)
+	}
+	ids := []string{*fig}
 	if strings.EqualFold(*fig, "all") {
 		// Stream figure by figure so partial results survive interrupts.
-		ids := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
+		ids = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
 			"11", "12", "13", "14", "15", "16", "17", "18", "19", "20",
 			"21", "22", "halved", "families"}
-		for _, id := range ids {
-			f, err := suite.FigureByID(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(2)
-			}
-			emit(f, *csvOut)
-		}
-	} else {
-		f, err := suite.FigureByID(*fig)
+	}
+	for _, id := range ids {
+		f, err := suite.FigureByID(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(2)
 		}
+		if suite.Cancelled() {
+			interrupted() // a cancelled figure has zero slots; don't emit it
+		}
 		emit(f, *csvOut)
+	}
+	if svc != nil {
+		// Sweep over: the next claim from each worker answers 410 and the
+		// worker exits. Give pollers a moment to hear it before the
+		// listener dies with the process.
+		svc.Close()
+		time.Sleep(1500 * time.Millisecond)
 	}
 	fmt.Fprintf(os.Stderr, "experiments: %d simulations in %s\n", suite.Runs(), time.Since(start).Round(time.Second))
 	if suite.ReportFailures() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runStoreGC prunes (or previews pruning) stale run-store entries.
+func runStoreGC(cacheDir string, age time.Duration, dryRun bool) {
+	if cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -store-gc requires -cache-dir")
+		os.Exit(2)
+	}
+	store, err := tinydir.NewRunStore(cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	stats, err := store.GC(age, dryRun)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: store-gc:", err)
+		os.Exit(1)
+	}
+	verb := "pruned"
+	if dryRun {
+		verb = "would prune"
+	}
+	fmt.Printf("store-gc: scanned %d entries, %s %d (%d bytes), kept %d\n",
+		stats.Scanned, verb, stats.Pruned, stats.PrunedBytes, stats.Kept)
+}
+
+// runWorker joins a coordinator's fleet until the sweep completes or the
+// process is signalled.
+func runWorker(url, name string, cacheBytes int64, timeout time.Duration, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var progress io.Writer
+	if !quiet {
+		progress = os.Stderr
+	}
+	err := tinydir.RunSweepWorker(ctx, tinydir.WorkerConfig{
+		Coordinator: url,
+		Name:        name,
+		CacheBytes:  cacheBytes,
+		RunTimeout:  timeout,
+		Progress:    progress,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: worker:", err)
 		os.Exit(1)
 	}
 }

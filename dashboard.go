@@ -1,0 +1,190 @@
+package tinydir
+
+// The live sweep dashboard: a small HTML page on the `-http` listener
+// that polls a JSON status endpoint and renders the Reporter snapshot,
+// the worker fleet (when the suite runs distributed), and the obs epoch
+// CSVs written so far. Plain tables and a ~1.5s poll — the monitor's
+// job is glanceability during a long sweep, not charting; the CSVs are
+// downloadable for real analysis.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Dashboard serves the live sweep view. Fleet is optional (nil for a
+// purely local sweep); it returns the coordinator's sweepd.Status (typed
+// as interface{} to keep the dependency one-way). ObsDir is optional.
+type Dashboard struct {
+	Reporter *Reporter
+	Fleet    func() interface{}
+	ObsDir   string
+}
+
+// dashStatus is the JSON payload behind /dash/status.
+type dashStatus struct {
+	Sweep SweepStatus
+	Fleet interface{} `json:",omitempty"`
+	Obs   []string    `json:",omitempty"`
+}
+
+// Register mounts the dashboard on mux: the page at /, the JSON feed at
+// /dash/status, and obs epoch CSVs at /dash/obs/<name>.
+func (d *Dashboard) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(dashboardHTML))
+	})
+	mux.HandleFunc("/dash/status", func(w http.ResponseWriter, r *http.Request) {
+		st := dashStatus{Obs: d.obsFiles()}
+		if d.Reporter != nil {
+			st.Sweep = d.Reporter.Snapshot()
+		}
+		if d.Fleet != nil {
+			st.Fleet = d.Fleet()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/dash/obs/", func(w http.ResponseWriter, r *http.Request) {
+		name := filepath.Base(strings.TrimPrefix(r.URL.Path, "/dash/obs/"))
+		// Base() strips any traversal; the suffix check keeps this to the
+		// epoch CSVs the dashboard lists, not arbitrary ObsDir contents.
+		if d.ObsDir == "" || !strings.HasSuffix(name, ".epochs.csv") {
+			http.NotFound(w, r)
+			return
+		}
+		b, err := os.ReadFile(filepath.Join(d.ObsDir, name))
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		w.Write(b)
+	})
+}
+
+// obsFiles lists the epoch CSVs written so far, newest-name-last.
+func (d *Dashboard) obsFiles() []string {
+	if d.ObsDir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(d.ObsDir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".epochs.csv") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>tinydir sweep</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.5rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: left; }
+th { background: #f3f3f3; }
+.num { text-align: right; font-variant-numeric: tabular-nums; }
+.muted { color: #888; }
+#err { color: #b00; }
+</style>
+</head>
+<body>
+<h1>tinydir sweep monitor</h1>
+<p id="err"></p>
+<h2>Sweep</h2>
+<table id="sweep">
+<tr><th>Planned</th><th>Done</th><th>Served</th><th>Failed</th><th>Elapsed</th><th>ETA</th></tr>
+<tr><td class="num" id="planned">-</td><td class="num" id="done">-</td><td class="num" id="served">-</td>
+<td class="num" id="failed">-</td><td id="elapsed">-</td><td id="eta">-</td></tr>
+</table>
+<h2>Active runs</h2>
+<table id="active"><tr><th>Run</th><th>IPC</th></tr></table>
+<div id="fleetsec" style="display:none">
+<h2>Fleet</h2>
+<table id="fleetsum">
+<tr><th>Pending</th><th>Leased</th><th>Done</th><th>Failed</th><th>Total</th></tr>
+<tr><td class="num" id="fpending">-</td><td class="num" id="fleased">-</td><td class="num" id="fdone">-</td>
+<td class="num" id="ffailed">-</td><td class="num" id="ftotal">-</td></tr>
+</table>
+<table id="workers"><tr><th>Worker</th><th>Active unit</th><th>Idle</th><th>Completed</th><th>Failed</th></tr></table>
+</div>
+<h2>Observability artifacts</h2>
+<ul id="obs"><li class="muted">none yet</li></ul>
+<script>
+function ns(v) { // Go time.Duration arrives as nanoseconds
+  if (!v) return "-";
+  var s = v / 1e9;
+  if (s < 60) return s.toFixed(1) + "s";
+  return Math.floor(s / 60) + "m" + Math.round(s % 60) + "s";
+}
+function setRows(table, rows) {
+  while (table.rows.length > 1) table.deleteRow(1);
+  rows.forEach(function (cells) {
+    var tr = table.insertRow();
+    cells.forEach(function (c) { tr.insertCell().textContent = c; });
+  });
+}
+function tick() {
+  fetch("/dash/status").then(function (r) { return r.json(); }).then(function (st) {
+    document.getElementById("err").textContent = "";
+    var s = st.Sweep || {};
+    ["Planned", "Done", "Served", "Failed"].forEach(function (k) {
+      document.getElementById(k.toLowerCase()).textContent = s[k] || 0;
+    });
+    document.getElementById("elapsed").textContent = ns(s.Elapsed);
+    document.getElementById("eta").textContent = ns(s.ETA);
+    setRows(document.getElementById("active"),
+      (s.Active || []).map(function (a) { return [a.Name, a.IPC ? a.IPC.toFixed(3) : "-"]; }));
+    var f = st.Fleet;
+    document.getElementById("fleetsec").style.display = f ? "" : "none";
+    if (f) {
+      ["Pending", "Leased", "Done", "Failed", "Total"].forEach(function (k) {
+        document.getElementById("f" + k.toLowerCase()).textContent = f[k] || 0;
+      });
+      setRows(document.getElementById("workers"),
+        (f.Workers || []).map(function (w) {
+          return [w.Name, (w.Active || "idle").slice(0, 12), ns(w.IdleFor), w.Completed, w.Failed];
+        }));
+    }
+    var ul = document.getElementById("obs");
+    ul.innerHTML = "";
+    if (!st.Obs || !st.Obs.length) {
+      ul.innerHTML = '<li class="muted">none yet</li>';
+    } else {
+      st.Obs.forEach(function (n) {
+        var li = document.createElement("li"), a = document.createElement("a");
+        a.href = "/dash/obs/" + encodeURIComponent(n);
+        a.textContent = n;
+        li.appendChild(a);
+        ul.appendChild(li);
+      });
+    }
+  }).catch(function (e) {
+    document.getElementById("err").textContent = "status fetch failed: " + e;
+  });
+}
+tick();
+setInterval(tick, 1500);
+</script>
+</body>
+</html>
+`

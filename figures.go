@@ -124,21 +124,36 @@ type Suite struct {
 	// completes, Failures() reports it — instead of hanging the worker
 	// pool forever.
 	RunTimeout time.Duration
+	// Dispatch, when set, replaces local simulation: every run the suite
+	// would execute goes through it instead of the in-process
+	// runWithStore path. The distributed sweep service plugs in here —
+	// AttachSweepService installs a Dispatch that enqueues the run as a
+	// work unit and blocks until a fleet worker returns its Result. An
+	// error from Dispatch is recorded like a quarantined run. The
+	// figure-assembly passes are untouched, so output stays byte-
+	// identical to a local sweep.
+	Dispatch DispatchFunc
 
 	sh *suiteShared
 }
 
+// DispatchFunc executes (or delegates) one planned run. simulated
+// reports whether real simulation work happened (false when the result
+// was served from a store).
+type DispatchFunc func(o Options) (r Result, simulated bool, err error)
+
 // suiteShared is the run cache and prefetch plan, shared with the derived
 // sub-suite FigHalved builds so all runs land in one cache.
 type suiteShared struct {
-	mu       sync.Mutex
-	cache    map[string]Result
-	runs     int // simulations actually executed (store-served results excluded)
-	planning bool
-	planned  map[string]bool
-	plan     []plannedRun
-	failures []RunFailure
-	rep      *Reporter // lazily built; all progress output funnels through it
+	mu        sync.Mutex
+	cache     map[string]Result
+	runs      int // simulations actually executed (store-served results excluded)
+	planning  bool
+	planned   map[string]bool
+	plan      []plannedRun
+	failures  []RunFailure
+	rep       *Reporter   // lazily built; all progress output funnels through it
+	cancelled atomic.Bool // Cancel() was called: claim no new runs
 }
 
 // RunFailure records one run that panicked or blew its deadline inside a
@@ -170,8 +185,20 @@ func NewSuite(scale Scale) *Suite {
 func (s *Suite) derived(scale Scale) *Suite {
 	return &Suite{Scale: scale, Progress: s.Progress, Workers: s.Workers,
 		Store: s.Store, Resume: s.Resume, Obs: s.Obs, ObsDir: s.ObsDir,
-		RunTimeout: s.RunTimeout, sh: s.sh}
+		RunTimeout: s.RunTimeout, Dispatch: s.Dispatch, sh: s.sh}
 }
+
+// Cancel stops the sweep at the next run boundary: prefetch workers
+// claim no further plan entries and serial builders skip remaining
+// simulations, while in-flight runs complete normally — their results
+// still flush to the store through the usual atomic write, so an
+// interrupted sweep resumes exactly where it stopped. Figures built
+// after Cancel contain zero-valued slots; callers must check
+// Cancelled() and discard them.
+func (s *Suite) Cancel() { s.sh.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel was called.
+func (s *Suite) Cancelled() bool { return s.sh.cancelled.Load() }
 
 // Monitor returns the suite's progress reporter, building it on first
 // use. The reporter serializes progress lines across workers and tracks
@@ -228,9 +255,9 @@ func (s *Suite) run(app Profile, scheme Scheme) Result {
 func (s *Suite) figure(build func() Figure) Figure {
 	sh := s.sh
 	sh.mu.Lock()
-	if s.Workers <= 1 || sh.planning {
-		// Serial mode, or a figure built while another one plans (the
-		// plan then simply covers both).
+	if sh.planning {
+		// A figure built while another one plans: the outer plan simply
+		// covers both.
 		sh.mu.Unlock()
 		return build()
 	}
@@ -242,11 +269,16 @@ func (s *Suite) figure(build func() Figure) Figure {
 	plan := sh.plan
 	sh.plan, sh.planned, sh.planning = nil, nil, false
 	sh.mu.Unlock()
+	// The dry pass runs even in serial mode: the Reporter's planned count
+	// (progress denominators, ETAs, the interrupt summary) must cover the
+	// figure regardless of how many workers execute it.
 	if len(plan) > 0 {
 		s.Monitor().addPlanned(len(plan))
 	}
-	s.prefetch(plan)
-	return build() // real pass: fully cached, identical to the serial path
+	if s.Workers > 1 {
+		s.prefetch(plan)
+	}
+	return build() // real pass: cached when prefetched, identical either way
 }
 
 // prefetch executes the planned runs on a bounded worker pool.
@@ -265,6 +297,9 @@ func (s *Suite) prefetch(plan []plannedRun) {
 		go func() {
 			defer wg.Done()
 			for {
+				if s.sh.cancelled.Load() {
+					return // graceful shutdown: claim nothing further
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(plan) {
 					return

@@ -1,0 +1,299 @@
+package runstore
+
+// The HTTP blob protocol: a Backend served over four verbs, so a fleet
+// of workers shares one coordinator-side store with exact dedup.
+//
+//	GET    /{kind}/{key}   200 body | 404
+//	PUT    /{kind}/{key}   204 | 409 (ErrDiffers) | 400 | 500
+//	HEAD   /{kind}/{key}   200 (Content-Length, Last-Modified) | 404
+//	GET    /{kind}         200 JSON []Info (key-sorted listing)
+//	DELETE /{kind}/{key}   204 (idempotent)
+//
+// A PUT with the X-Runstore-Replace: 1 header overwrites a differing
+// entry (the caller-decided debris-replacement path); without it the
+// server refuses differing bytes with 409 Conflict, carrying the
+// collision semantics across the wire unchanged. Atomicity rides on the
+// server's inner backend: the server buffers the full body before
+// calling Put, so a slow or dying client never exposes partial bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+const (
+	replaceHeader = "X-Runstore-Replace"
+	// maxBlobBytes bounds one entry (results are KBs, checkpoints MBs;
+	// 1 GiB is a generous ceiling that still stops a hostile client
+	// from ballooning the server's memory).
+	maxBlobBytes = 1 << 30
+)
+
+// Client is the HTTP Backend: every method is one round trip to a
+// server created with NewServer (usually the sweep coordinator).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the blob server at base (e.g.
+// "http://coordinator:6060/store"). The transport has no global
+// timeout — checkpoint bodies can be large — but dials and TLS
+// handshakes use http.DefaultTransport's usual limits.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+func (c *Client) url(kind, key string) string {
+	if key == "" {
+		return c.base + "/" + kind
+	}
+	return c.base + "/" + kind + "/" + key
+}
+
+// Get implements Backend.
+func (c *Client) Get(kind, key string) ([]byte, bool, error) {
+	if err := checkNames(kind, key); err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Get(c.url(kind, key))
+	if err != nil {
+		return nil, false, fmt.Errorf("runstore: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+		if err != nil {
+			return nil, false, fmt.Errorf("runstore: %w", err)
+		}
+		return b, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("runstore: GET %s/%s: %s", kind, key, resp.Status)
+}
+
+// Put implements Backend.
+func (c *Client) Put(kind, key string, data []byte, replace bool) error {
+	if err := checkNames(kind, key); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.url(kind, key), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if replace {
+		req.Header.Set(replaceHeader, "1")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("%w: key %s", ErrDiffers, key)
+	}
+	return fmt.Errorf("runstore: PUT %s/%s: %s", kind, key, resp.Status)
+}
+
+// Stat implements Backend.
+func (c *Client) Stat(kind, key string) (Info, bool, error) {
+	if err := checkNames(kind, key); err != nil {
+		return Info{}, false, err
+	}
+	resp, err := c.hc.Head(c.url(kind, key))
+	if err != nil {
+		return Info{}, false, fmt.Errorf("runstore: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		info := Info{Key: key, Size: resp.ContentLength}
+		if t, err := http.ParseTime(resp.Header.Get("Last-Modified")); err == nil {
+			info.ModTime = t
+		}
+		return info, true, nil
+	case http.StatusNotFound:
+		return Info{}, false, nil
+	}
+	return Info{}, false, fmt.Errorf("runstore: HEAD %s/%s: %s", kind, key, resp.Status)
+}
+
+// Keys implements Backend.
+func (c *Client) Keys(kind string) ([]Info, error) {
+	if !ValidName(kind) {
+		return nil, fmt.Errorf("runstore: invalid kind %q", kind)
+	}
+	resp, err := c.hc.Get(c.url(kind, ""))
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("runstore: LIST %s: %s", kind, resp.Status)
+	}
+	var infos []Info
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBlobBytes)).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	return infos, nil
+}
+
+// Delete implements Backend.
+func (c *Client) Delete(kind, key string) error {
+	if err := checkNames(kind, key); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.url(kind, key), nil)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK, http.StatusNotFound:
+		return nil
+	}
+	return fmt.Errorf("runstore: DELETE %s/%s: %s", kind, key, resp.Status)
+}
+
+// server serves the blob protocol over an inner Backend.
+type server struct {
+	b Backend
+}
+
+// NewServer returns an http.Handler exposing b over the blob protocol.
+// Mount it under a prefix with http.StripPrefix; paths are
+// /{kind}/{key} relative to that prefix.
+func NewServer(b Backend) http.Handler { return &server{b: b} }
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	kind, key, ok := splitBlobPath(r.URL.Path)
+	if !ok {
+		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+	if key == "" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.list(w, kind)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		s.get(w, r, kind, key)
+	case http.MethodPut:
+		s.put(w, r, kind, key)
+	case http.MethodDelete:
+		if err := s.b.Delete(kind, key); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// splitBlobPath parses "/{kind}" or "/{kind}/{key}" with strict names.
+func splitBlobPath(p string) (kind, key string, ok bool) {
+	p = strings.TrimPrefix(p, "/")
+	kind, key, _ = strings.Cut(p, "/")
+	if !ValidName(kind) || (key != "" && !ValidName(key)) {
+		return "", "", false
+	}
+	return kind, key, true
+}
+
+func (s *server) list(w http.ResponseWriter, kind string) {
+	infos, err := s.b.Keys(kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if infos == nil {
+		infos = []Info{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(infos)
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request, kind, key string) {
+	// HEAD uses Stat (no body fetch); GET fetches once.
+	if r.Method == http.MethodHead {
+		info, ok, err := s.b.Stat(kind, key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+		if !info.ModTime.IsZero() {
+			w.Header().Set("Last-Modified", info.ModTime.UTC().Format(http.TimeFormat))
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	data, ok, err := s.b.Get(kind, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(int64(len(data)), 10))
+	w.Write(data)
+}
+
+func (s *server) put(w http.ResponseWriter, r *http.Request, kind, key string) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) > maxBlobBytes {
+		http.Error(w, "entry too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	replace := r.Header.Get(replaceHeader) == "1"
+	if err := s.b.Put(kind, key, data, replace); err != nil {
+		if isDiffers(err) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// isDiffers matches ErrDiffers through wrapping, plus a string fallback
+// so a server whose inner backend is itself a Client (a relay, where the
+// sentinel arrived as 409 text) still maps the refusal correctly.
+func isDiffers(err error) bool {
+	return err != nil &&
+		(errors.Is(err, ErrDiffers) || strings.Contains(err.Error(), ErrDiffers.Error()))
+}

@@ -1,0 +1,220 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Worker is the pull loop of one fleet member: claim a unit, execute it
+// through Run while a background goroutine heartbeats the lease, report
+// the outcome, repeat. It holds no sweep state — a worker can join late,
+// die mid-lease (the coordinator requeues), or be pointed at a fresh
+// coordinator after a restart.
+type Worker struct {
+	// Base is the coordinator API root, e.g. "http://host:6060/sweepd".
+	Base string
+	// Name identifies this worker in leases and the dashboard.
+	Name string
+	// Run executes one unit and returns its serialized result. An error
+	// marks the unit failed at the coordinator (deterministic failures
+	// are not retried); Run must catch panics itself if it wants them
+	// reported rather than crashing the worker.
+	Run func(key string, payload []byte) ([]byte, error)
+	// Poll is the idle re-claim interval (default 500ms).
+	Poll time.Duration
+	// MaxErrors bounds consecutive transport failures before Loop gives
+	// up (default 20) — a vanished coordinator should stop the worker,
+	// not spin it forever.
+	MaxErrors int
+	// Log, when set, receives one line per unit and per lease event.
+	Log func(format string, args ...interface{})
+	// HC is the HTTP client (default: a fresh http.Client).
+	HC *http.Client
+
+	units uint64 // completed unit count (atomic)
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+func (w *Worker) maxErrors() int {
+	if w.MaxErrors > 0 {
+		return w.MaxErrors
+	}
+	return 20
+}
+
+func (w *Worker) hc() *http.Client {
+	if w.HC != nil {
+		return w.HC
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Log != nil {
+		w.Log(format, args...)
+	}
+}
+
+// Units returns how many units this worker has completed (success or
+// reported failure).
+func (w *Worker) Units() uint64 { return atomic.LoadUint64(&w.units) }
+
+// Loop runs until the coordinator reports the sweep over (returns nil),
+// ctx is cancelled (returns ctx.Err() once the in-flight unit, if any,
+// finishes), or too many consecutive transport errors accumulate.
+func (w *Worker) Loop(ctx context.Context) error {
+	errs := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cl, status, err := w.claim()
+		if err != nil {
+			errs++
+			if errs >= w.maxErrors() {
+				return fmt.Errorf("sweepd: worker %s: coordinator unreachable after %d attempts: %w", w.Name, errs, err)
+			}
+			if !sleepCtx(ctx, w.poll()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		errs = 0
+		switch status {
+		case http.StatusGone:
+			w.logf("worker %s: sweep complete, exiting", w.Name)
+			return nil
+		case http.StatusNoContent:
+			if !sleepCtx(ctx, w.poll()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.process(ctx, cl)
+	}
+}
+
+// process executes one claimed unit under a heartbeat.
+func (w *Worker) process(ctx context.Context, cl claimResponse) {
+	w.logf("worker %s: claimed %.12s", w.Name, cl.Key)
+	hbCtx, stopHB := context.WithCancel(ctx)
+	go w.heartbeatLoop(hbCtx, cl)
+	result, err := w.Run(cl.Key, cl.Payload)
+	stopHB()
+	atomic.AddUint64(&w.units, 1)
+	errmsg := ""
+	if err != nil {
+		errmsg = err.Error()
+		w.logf("worker %s: unit %.12s FAILED: %v", w.Name, cl.Key, err)
+	} else {
+		w.logf("worker %s: unit %.12s done", w.Name, cl.Key)
+	}
+	// Report even after a lost lease: the coordinator's exactly-once
+	// merge acknowledges identical duplicates and refuses divergent
+	// ones loudly.
+	if derr := w.post("/done", doneRequest{Worker: w.Name, Key: cl.Key, Result: result, Err: errmsg}, nil); derr != nil {
+		w.logf("worker %s: reporting %.12s: %v", w.Name, cl.Key, derr)
+	}
+}
+
+// heartbeatLoop extends the lease at a third of its TTL until the unit
+// finishes or the lease is gone.
+func (w *Worker) heartbeatLoop(ctx context.Context, cl claimResponse) {
+	interval := time.Duration(cl.LeaseMs) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		if !sleepCtx(ctx, interval) {
+			return
+		}
+		var resp heartbeatResponse
+		err := w.post("/heartbeat", heartbeatRequest{Worker: w.Name, Key: cl.Key}, &resp)
+		if err == errGone {
+			// Lease lost (expired or completed elsewhere). The unit
+			// cannot be aborted mid-simulation; finish and let the
+			// idempotent completion sort it out.
+			w.logf("worker %s: lease on %.12s lost", w.Name, cl.Key)
+			return
+		}
+		if err != nil {
+			w.logf("worker %s: heartbeat %.12s: %v", w.Name, cl.Key, err)
+		}
+	}
+}
+
+// claim asks for work. status is one of 200 (cl valid), 204 (no work
+// yet) or 410 (sweep over).
+func (w *Worker) claim() (cl claimResponse, status int, err error) {
+	status, err = w.postStatus("/claim", claimRequest{Worker: w.Name}, &cl)
+	if err != nil {
+		return claimResponse{}, 0, err
+	}
+	switch status {
+	case http.StatusOK, http.StatusNoContent, http.StatusGone:
+		return cl, status, nil
+	}
+	return claimResponse{}, 0, fmt.Errorf("sweepd: claim: unexpected status %d", status)
+}
+
+var errGone = fmt.Errorf("sweepd: gone")
+
+// post sends one JSON request; 410 maps to errGone, other non-2xx to
+// errors. resp may be nil.
+func (w *Worker) post(path string, req interface{}, resp interface{}) error {
+	status, err := w.postStatus(path, req, resp)
+	if err != nil {
+		return err
+	}
+	switch {
+	case status == http.StatusGone:
+		return errGone
+	case status >= 300:
+		return fmt.Errorf("sweepd: POST %s: status %d", path, status)
+	}
+	return nil
+}
+
+func (w *Worker) postStatus(path string, req interface{}, resp interface{}) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	httpResp, err := w.hc().Post(w.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusOK && resp != nil {
+		if err := json.NewDecoder(io.LimitReader(httpResp.Body, maxBodyBytes)).Decode(resp); err != nil {
+			return 0, err
+		}
+	} else {
+		io.Copy(io.Discard, io.LimitReader(httpResp.Body, 4096))
+	}
+	return httpResp.StatusCode, nil
+}
+
+// sleepCtx sleeps d or until ctx cancels; reports false on cancel.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

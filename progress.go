@@ -242,7 +242,16 @@ func (s *Suite) writeObsArtifacts(o Options, rec *ObsRecorder, rep *Reporter) {
 // state is dumped to an artifact under ObsDir, the failure is recorded for
 // Failures(), and the sweep continues with a zero Result in that slot.
 func (s *Suite) executeRun(o Options) (Result, bool) {
+	if s.sh.cancelled.Load() {
+		// Graceful shutdown: skip the simulation entirely. The figure
+		// assembled from this zero result is discarded by the caller
+		// (Cancelled() gates output).
+		return Result{App: o.App.Name, Scheme: o.Scheme.String()}, false
+	}
 	rep := s.Monitor()
+	if s.Dispatch != nil {
+		return s.dispatchRun(o, rep)
+	}
 	rec := s.newRecorder(rep)
 	o.Obs = rec
 	if s.RunTimeout > 0 && o.Timeout == 0 {
@@ -262,6 +271,35 @@ func (s *Suite) executeRun(o Options) (Result, bool) {
 	}
 	if simulated {
 		s.writeObsArtifacts(o, rec, rep)
+	}
+	rep.runDone(o.App.Name, o.Scheme.String(), simulated, time.Since(start))
+	return r, simulated
+}
+
+// dispatchRun routes one run through the suite's Dispatch (the
+// distributed-sweep path) with the same progress reporting and failure
+// quarantine bookkeeping as a local run — minus the observability
+// recorder, which is per-process state a remote worker cannot share.
+func (s *Suite) dispatchRun(o Options, rep *Reporter) (Result, bool) {
+	if s.RunTimeout > 0 && o.Timeout == 0 {
+		o.Timeout = s.RunTimeout
+	}
+	rep.runStarted(o.App.Name, o.Scheme.String(), nil)
+	start := time.Now()
+	r, simulated, err := s.Dispatch(o)
+	if err != nil {
+		if s.Cancelled() {
+			// The dispatch path was torn down under us (coordinator
+			// closed); the output is discarded anyway, so this is not a
+			// run failure worth recording.
+			return Result{App: o.App.Name, Scheme: o.Scheme.String()}, false
+		}
+		f := RunFailure{App: o.App.Name, Scheme: o.Scheme.String(), Err: err.Error()}
+		s.sh.mu.Lock()
+		s.sh.failures = append(s.sh.failures, f)
+		s.sh.mu.Unlock()
+		rep.runFailed(o.App.Name, o.Scheme.String(), f.Err, "")
+		return Result{App: o.App.Name, Scheme: o.Scheme.String()}, false
 	}
 	rep.runDone(o.App.Name, o.Scheme.String(), simulated, time.Since(start))
 	return r, simulated

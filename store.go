@@ -6,16 +6,21 @@ package tinydir
 // and snapshot format versions, so a code change that alters either layout
 // invalidates old artifacts instead of mixing with them.
 //
-// The store holds two artifact kinds under its root:
+// The store holds two artifact kinds (see internal/runstore for the blob
+// layer; the default directory backend keeps the original layout):
 //
 //	results/<key>.json      — the finished Result (resumable sweeps)
 //	checkpoints/<key>.snap  — a machine snapshot taken at the fixed warmup
 //	                          boundary (fast-forward on re-runs)
 //
-// Writes are atomic (temp file + rename) so a killed sweep never leaves a
-// truncated artifact behind, and PutResult refuses to overwrite an existing
-// result with different bytes — a key collision or a nondeterministic run
-// is a bug worth a loud failure, not a silent cache corruption.
+// Writes are atomic (temp file + rename, or the HTTP protocol's buffered
+// PUT) so a killed sweep never leaves a truncated artifact behind, and
+// PutResult refuses to overwrite an existing result with different bytes —
+// a key collision or a nondeterministic run is a bug worth a loud failure,
+// not a silent cache corruption. Artifact placement is pluggable: the
+// store runs over any runstore.Backend — the local directory, an
+// in-memory LRU tier, or the HTTP blob client a sweep worker points at
+// its coordinator.
 
 import (
 	"bytes"
@@ -25,10 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
 	"tinydir/internal/fault"
+	"tinydir/internal/runstore"
 	"tinydir/internal/snapshot"
 	"tinydir/internal/system"
 	"tinydir/internal/trace"
@@ -43,23 +48,36 @@ import (
 // trace.* counters.
 const storeFormatVersion = 3
 
-// RunStore is a directory-backed cache of simulation results and warmup
-// checkpoints. The zero value is not usable; construct with NewRunStore.
+// RunStore is a backend-backed cache of simulation results and warmup
+// checkpoints. The zero value is not usable; construct with NewRunStore
+// (local directory) or NewRunStoreWithBackend (any blob backend).
 // Methods are safe for concurrent use by independent runs (distinct keys);
-// concurrent writers of the same key settle on one winner via rename.
+// concurrent writers of the same key settle on one winner (the backend's
+// atomic-write contract).
 type RunStore struct {
-	root string
+	b runstore.Backend
 }
 
-// NewRunStore opens (creating if needed) a run store rooted at dir.
+// NewRunStore opens (creating if needed) a directory-backed run store
+// rooted at dir.
 func NewRunStore(dir string) (*RunStore, error) {
-	for _, sub := range []string{"results", "checkpoints"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("runstore: %w", err)
-		}
+	b, err := runstore.NewDir(dir)
+	if err != nil {
+		return nil, err
 	}
-	return &RunStore{root: dir}, nil
+	return &RunStore{b: b}, nil
 }
+
+// NewRunStoreWithBackend wraps an arbitrary blob backend — an LRU tier,
+// the HTTP client of a coordinator's shared store, or any composition of
+// them — in the run store's result/checkpoint semantics.
+func NewRunStoreWithBackend(b runstore.Backend) *RunStore {
+	return &RunStore{b: b}
+}
+
+// Backend exposes the underlying blob store (the coordinator serves it
+// to workers over HTTP via runstore.NewServer).
+func (s *RunStore) Backend() runstore.Backend { return s.b }
 
 // normalizeOptions applies Run's defaulting rules so that every spelling of
 // the same simulation maps to the same store key.
@@ -118,14 +136,6 @@ func (s *RunStore) Key(o Options) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-func (s *RunStore) resultPath(key string) string {
-	return filepath.Join(s.root, "results", key+".json")
-}
-
-func (s *RunStore) checkpointPath(key string) string {
-	return filepath.Join(s.root, "checkpoints", key+".snap")
-}
-
 // storeWarn reports non-fatal store damage (swapped out by tests).
 var storeWarn = func(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "runstore: warning: "+format+"\n", args...)
@@ -136,12 +146,12 @@ var storeWarn = func(format string, args ...interface{}) {
 // hand-damaged) entry is a cache miss with a warning, never a sweep
 // failure: the run simply re-simulates and PutResult replaces the debris.
 func (s *RunStore) GetResult(key string) (Result, bool, error) {
-	b, err := os.ReadFile(s.resultPath(key))
-	if errors.Is(err, os.ErrNotExist) {
-		return Result{}, false, nil
-	}
+	b, ok, err := s.b.Get(runstore.KindResults, key)
 	if err != nil {
 		storeWarn("unreadable result %s, treating as a miss: %v", key, err)
+		return Result{}, false, nil
+	}
+	if !ok {
 		return Result{}, false, nil
 	}
 	var r Result
@@ -156,62 +166,91 @@ func (s *RunStore) GetResult(key string) (Result, bool, error) {
 // the bytes must match exactly: a mismatch means a key collision or a
 // nondeterministic simulation, and fails loudly rather than papering over
 // it. A corrupt existing entry (the one GetResult warned about) is simply
-// replaced.
+// replaced. The refusal happens wherever the backend lives — the local
+// directory compares files, the HTTP backend turns the server's 409 into
+// the same loud error — so a fleet of workers shares one collision guard.
 func (s *RunStore) PutResult(key string, r Result) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return fmt.Errorf("runstore: %w", err)
 	}
 	data = append(data, '\n')
-	path := s.resultPath(key)
-	if old, err := os.ReadFile(path); err == nil {
-		if bytes.Equal(old, data) {
-			return nil
-		}
+	err = s.b.Put(runstore.KindResults, key, data, false)
+	if !errors.Is(err, runstore.ErrDiffers) {
+		return err
+	}
+	// The key holds different bytes. A valid stored result is protected;
+	// corrupt debris (a pre-atomic-write truncation GetResult warned
+	// about) is replaced.
+	old, ok, gerr := s.b.Get(runstore.KindResults, key)
+	if gerr == nil && ok {
 		var stale Result
-		if json.Unmarshal(old, &stale) == nil {
+		if json.Unmarshal(old, &stale) == nil && !bytes.Equal(old, data) {
 			return fmt.Errorf("runstore: refusing to overwrite %s: stored result differs from the new run (key collision or nondeterministic simulation)", key)
 		}
-		storeWarn("replacing corrupt result %s", key)
 	}
-	return writeFileAtomic(path, data)
+	storeWarn("replacing corrupt result %s", key)
+	return s.b.Put(runstore.KindResults, key, data, true)
 }
 
 // readCheckpoint returns the warmup snapshot for key, if present. A missing
 // or unreadable checkpoint is simply a cold start.
 func (s *RunStore) readCheckpoint(key string) ([]byte, bool) {
-	b, err := os.ReadFile(s.checkpointPath(key))
-	if err != nil || len(b) == 0 {
+	b, ok, err := s.b.Get(runstore.KindCheckpoints, key)
+	if err != nil || !ok || len(b) == 0 {
 		return nil, false
 	}
 	return b, true
 }
 
 // writeCheckpoint stores a warmup snapshot for key. Checkpoints are a pure
-// optimization, so failures are returned for the caller to ignore.
+// optimization, so failures are returned for the caller to ignore, and
+// a differing existing checkpoint is replaced rather than refused (the
+// boundary event count can change across store format migrations).
 func (s *RunStore) writeCheckpoint(key string, data []byte) error {
-	return writeFileAtomic(s.checkpointPath(key), data)
+	return s.b.Put(runstore.KindCheckpoints, key, data, true)
 }
 
-func writeFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("runstore: %w", err)
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr == nil {
-			werr = cerr
+// GCStats reports what a GC pass found (and, unless it was a dry run,
+// pruned).
+type GCStats struct {
+	Scanned     int   // entries examined across both kinds
+	Pruned      int   // entries older than the cutoff
+	PrunedBytes int64 // their total size
+	Kept        int
+}
+
+// GC prunes results and checkpoints whose modification time is older
+// than age. With dryRun set it only reports what would go. Long-lived
+// shared stores call this periodically (experiments -store-gc) so a
+// fleet's accumulated sweep history does not grow without bound; any
+// pruned entry is simply re-simulated (results) or re-warmed
+// (checkpoints) on next use.
+func (s *RunStore) GC(age time.Duration, dryRun bool) (GCStats, error) {
+	var st GCStats
+	cutoff := time.Now().Add(-age)
+	for _, kind := range []string{runstore.KindResults, runstore.KindCheckpoints} {
+		infos, err := s.b.Keys(kind)
+		if err != nil {
+			return st, err
 		}
-		return fmt.Errorf("runstore: %w", werr)
+		for _, info := range infos {
+			st.Scanned++
+			if info.ModTime.After(cutoff) {
+				st.Kept++
+				continue
+			}
+			st.Pruned++
+			st.PrunedBytes += info.Size
+			if dryRun {
+				continue
+			}
+			if err := s.b.Delete(kind, info.Key); err != nil {
+				return st, err
+			}
+		}
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runstore: %w", err)
-	}
-	return nil
+	return st, nil
 }
 
 // warmupEvents is the fixed event count at which a run's warmup checkpoint

@@ -2,21 +2,31 @@ package tinydir
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"tinydir/internal/runstore"
 )
 
-func testStore(t *testing.T) *RunStore {
+func testStore(t *testing.T) (*RunStore, string) {
 	t.Helper()
-	s, err := NewRunStore(t.TempDir())
+	dir := t.TempDir()
+	s, err := NewRunStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s
+	return s, dir
 }
+
+// resultFile and checkpointFile reproduce the Dir backend's on-disk
+// layout, which the tests tamper with directly to simulate crashes.
+func resultFile(dir, key string) string     { return filepath.Join(dir, "results", key+".json") }
+func checkpointFile(dir, key string) string { return filepath.Join(dir, "checkpoints", key+".snap") }
 
 var storeTestOpts = Options{
 	App:    App("barnes"),
@@ -28,14 +38,14 @@ var storeTestOpts = Options{
 // restores from the checkpoint it left behind, and a plain Run must all
 // agree exactly.
 func TestRunStoreColdWarmIdentical(t *testing.T) {
-	store := testStore(t)
+	store, dir := testStore(t)
 	plain := Run(storeTestOpts)
 
 	cold := RunWithStore(storeTestOpts, store, false)
 	if !reflect.DeepEqual(cold, plain) {
 		t.Fatalf("cold store-backed run diverged from Run:\ngot  %+v\nwant %+v", cold, plain)
 	}
-	ck := store.checkpointPath(store.Key(storeTestOpts))
+	ck := checkpointFile(dir, store.Key(storeTestOpts))
 	if _, err := os.Stat(ck); err != nil {
 		t.Fatalf("cold run left no warmup checkpoint: %v", err)
 	}
@@ -43,7 +53,7 @@ func TestRunStoreColdWarmIdentical(t *testing.T) {
 	// Drop the result so the warm run must actually simulate, fast-forwarded
 	// from the checkpoint. PutResult then byte-compares against nothing, but
 	// DeepEqual against the plain run is the real oracle.
-	if err := os.Remove(store.resultPath(store.Key(storeTestOpts))); err != nil {
+	if err := os.Remove(resultFile(dir, store.Key(storeTestOpts))); err != nil {
 		t.Fatal(err)
 	}
 	warm := RunWithStore(storeTestOpts, store, false)
@@ -55,7 +65,7 @@ func TestRunStoreColdWarmIdentical(t *testing.T) {
 // TestRunStoreResumeServesStoredResult: with resume set, a stored result is
 // returned as-is without re-simulating.
 func TestRunStoreResumeServesStoredResult(t *testing.T) {
-	store := testStore(t)
+	store, _ := testStore(t)
 	key := store.Key(storeTestOpts)
 	doctored := Result{App: "doctored", Scheme: "none", Cores: 1}
 	if err := store.PutResult(key, doctored); err != nil {
@@ -78,7 +88,7 @@ func TestRunStoreResumeServesStoredResult(t *testing.T) {
 // TestRunStoreKeyDistinct: perturbing any single Options field that can
 // change a simulation's outcome must change the store key.
 func TestRunStoreKeyDistinct(t *testing.T) {
-	store := testStore(t)
+	store, _ := testStore(t)
 	base := Options{
 		App:    App("barnes"),
 		Scheme: Scheme{Kind: KindTiny, Ratio: 1.0 / 64, GNRU: true, Spill: true, SpillWindow: 256, FixedGenLen: 0},
@@ -115,7 +125,7 @@ func TestRunStoreKeyDistinct(t *testing.T) {
 		seen[k] = name
 	}
 	// Keys are stable across store instances (content-addressed, no state).
-	other := testStore(t)
+	other, _ := testStore(t)
 	if other.Key(base) != baseKey {
 		t.Error("key differs between store instances")
 	}
@@ -124,7 +134,7 @@ func TestRunStoreKeyDistinct(t *testing.T) {
 // TestRunStoreCollisionGuard: PutResult must refuse to replace an existing
 // result with different bytes, and must accept an identical rewrite.
 func TestRunStoreCollisionGuard(t *testing.T) {
-	store := testStore(t)
+	store, _ := testStore(t)
 	key := store.Key(storeTestOpts)
 	a := Result{App: "a", Scheme: "s", Cores: 16}
 	if err := store.PutResult(key, a); err != nil {
@@ -149,18 +159,18 @@ func TestRunStoreCollisionGuard(t *testing.T) {
 // results/<key>.json entry is a cache miss with a warning — a resumed
 // sweep re-simulates and replaces the debris, never dies on it.
 func TestRunStoreTruncatedResultIsMiss(t *testing.T) {
-	store := testStore(t)
+	store, dir := testStore(t)
 	key := store.Key(storeTestOpts)
 	good := Result{App: "a", Scheme: "s", Cores: 16}
 	if err := store.PutResult(key, good); err != nil {
 		t.Fatal(err)
 	}
-	full, err := os.ReadFile(store.resultPath(key))
+	full, err := os.ReadFile(resultFile(dir, key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Tear the entry like a pre-atomic-write crash would have.
-	if err := os.WriteFile(store.resultPath(key), full[:len(full)/2], 0o644); err != nil {
+	if err := os.WriteFile(resultFile(dir, key), full[:len(full)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var warnings []string
@@ -192,7 +202,7 @@ func TestRunStoreTruncatedResultIsMiss(t *testing.T) {
 
 	// End-to-end: a resumed store-backed run across a truncated entry
 	// simulates and heals rather than failing.
-	if err := os.WriteFile(store.resultPath(key), full[:len(full)/2], 0o644); err != nil {
+	if err := os.WriteFile(resultFile(dir, key), full[:len(full)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	res := RunWithStore(storeTestOpts, store, true)
@@ -204,9 +214,12 @@ func TestRunStoreTruncatedResultIsMiss(t *testing.T) {
 // TestRunStoreSurvivesCorruptCheckpoint: a truncated or garbage checkpoint
 // must silently degrade to a cold run, not fail it.
 func TestRunStoreSurvivesCorruptCheckpoint(t *testing.T) {
-	store := testStore(t)
+	store, dir := testStore(t)
 	key := store.Key(storeTestOpts)
-	if err := os.WriteFile(store.checkpointPath(key), []byte("not a snapshot"), 0o644); err != nil {
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoints"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpointFile(dir, key), []byte("not a snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	got := RunWithStore(storeTestOpts, store, false)
@@ -215,7 +228,93 @@ func TestRunStoreSurvivesCorruptCheckpoint(t *testing.T) {
 		t.Fatalf("run with corrupt checkpoint diverged:\ngot  %+v\nwant %+v", got, want)
 	}
 	// And the cold run refreshed the checkpoint with a valid one.
-	if fi, err := os.Stat(filepath.Join(store.root, "checkpoints", key+".snap")); err != nil || fi.Size() < 100 {
+	if fi, err := os.Stat(checkpointFile(dir, key)); err != nil || fi.Size() < 100 {
 		t.Errorf("checkpoint not refreshed after corruption (err=%v)", err)
+	}
+}
+
+// TestRunStoreOverHTTPBackend: the full store contract — cold run with
+// checkpoint, resume hit, collision guard — holds when the backend is the
+// HTTP blob client talking to a remote Dir, exactly as a fleet worker
+// mounts the coordinator's store.
+func TestRunStoreOverHTTPBackend(t *testing.T) {
+	remote, err := runstore.NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(runstore.NewServer(remote))
+	defer srv.Close()
+	store := NewRunStoreWithBackend(runstore.NewLRU(runstore.NewClient(srv.URL), 1<<20))
+
+	plain := Run(storeTestOpts)
+	cold := RunWithStore(storeTestOpts, store, false)
+	if !reflect.DeepEqual(cold, plain) {
+		t.Fatalf("cold HTTP-backed run diverged from Run:\ngot  %+v\nwant %+v", cold, plain)
+	}
+	key := store.Key(storeTestOpts)
+	if _, ok, _ := store.GetResult(key); !ok {
+		t.Fatal("cold run's result not visible through the HTTP backend")
+	}
+	if _, ok, err := remote.Get(runstore.KindCheckpoints, key); err != nil || !ok {
+		t.Fatalf("cold run left no checkpoint on the remote store (ok=%v err=%v)", ok, err)
+	}
+
+	// A second client (another worker) resumes from the shared store
+	// without simulating: the served result is byte-exact.
+	other := NewRunStoreWithBackend(runstore.NewClient(srv.URL))
+	warm := RunWithStore(storeTestOpts, other, true)
+	if !reflect.DeepEqual(warm, plain) {
+		t.Fatalf("resume through a second HTTP client diverged:\ngot  %+v\nwant %+v", warm, plain)
+	}
+
+	// The collision guard crosses the wire: 409 surfaces as the same loud
+	// refusal a local store produces.
+	b := plain
+	b.Metrics.Cycles++
+	if err := other.PutResult(key, b); err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("HTTP-backed differing rewrite not refused loudly: %v", err)
+	}
+}
+
+// TestRunStoreGC: -store-gc prunes entries older than the age bound,
+// keeps younger ones, and in dry-run mode reports without deleting.
+func TestRunStoreGC(t *testing.T) {
+	store, dir := testStore(t)
+	oldKey := strings.Repeat("a", 64)
+	newKey := strings.Repeat("b", 64)
+	if err := store.PutResult(oldKey, Result{App: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutResult(newKey, Result{App: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(resultFile(dir, oldKey), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := store.GC(24*time.Hour, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 2 || stats.Pruned != 1 || stats.Kept != 1 || stats.PrunedBytes <= 0 {
+		t.Fatalf("dry-run stats wrong: %+v", stats)
+	}
+	if _, ok, _ := store.GetResult(oldKey); !ok {
+		t.Fatal("dry-run deleted an entry")
+	}
+
+	stats, err = store.GC(24*time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned != 1 || stats.Kept != 1 {
+		t.Fatalf("gc stats wrong: %+v", stats)
+	}
+	if _, ok, _ := store.GetResult(oldKey); ok {
+		t.Fatal("stale entry survived gc")
+	}
+	if _, ok, _ := store.GetResult(newKey); !ok {
+		t.Fatal("fresh entry pruned by gc")
 	}
 }
