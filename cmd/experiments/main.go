@@ -69,7 +69,7 @@ package main
 
 import (
 	"context"
-	"expvar"
+	_ "expvar" // -http serves /debug/vars; "sweep" is published via the telemetry registry
 	"flag"
 	"fmt"
 	"io"
@@ -85,6 +85,7 @@ import (
 	"time"
 
 	"tinydir"
+	"tinydir/internal/telemetry"
 )
 
 func main() {
@@ -117,8 +118,18 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0.02, "uniform fault rate for -soak (see internal/fault)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "base PRNG seed for -soak; seed i of a sweep uses fault-seed+i")
 		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock deadline; a run exceeding it is quarantined (0 = none)")
+		logLevel   = flag.String("log-level", "warn", "structured log threshold: debug | info | warn | error")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "work-unit lease TTL in -serve mode; a worker silent this long loses the unit (0 = 30s default)")
 	)
 	flag.Parse()
+
+	lvl, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, lvl, *logJSON)
 
 	if *resume && *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -cache-dir")
@@ -129,7 +140,7 @@ func main() {
 		return
 	}
 	if *workerURL != "" {
-		runWorker(*workerURL, *workerName, *workerLRU, *runTimeout, *quiet)
+		runWorker(*workerURL, *workerName, *workerLRU, *runTimeout, *quiet, logger)
 		return
 	}
 	if *serveMode && (*httpAddr == "" || *cacheDir == "") {
@@ -216,12 +227,30 @@ func main() {
 	suite.Obs = obsCfg
 	suite.ObsDir = *obsDir
 
+	// The telemetry registry backs /metrics, the dashboard's store panel
+	// and the expvar "sweep" re-host. It only exists when something can
+	// serve it — without -http every instrument stays nil and the hot
+	// paths run the identical off-state instruction stream.
+	var reg *telemetry.Registry
+	if *httpAddr != "" {
+		reg = telemetry.NewRegistry()
+		if suite.Store != nil {
+			// Instrument before the sweep service shares the backend over
+			// HTTP so workers' requests hit the instrumented view too.
+			suite.Store.EnableTelemetry(reg, "dir")
+		}
+	}
 	var svc *tinydir.SweepService
 	if *serveMode {
 		if *obsDir != "" {
 			fmt.Fprintln(os.Stderr, "experiments: note: dispatched runs execute on workers; -obs-dir records no per-run artifacts in -serve mode")
 		}
 		svc = tinydir.AttachSweepService(suite, suite.Store, http.DefaultServeMux)
+		svc.Coord.LeaseTTL = *leaseTTL
+		svc.Coord.Log = func(format string, args ...interface{}) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
+		svc.EnableTelemetry(reg)
 	}
 	if *httpAddr != "" {
 		// Bind before planning anything so a taken port fails the sweep
@@ -232,8 +261,9 @@ func main() {
 			os.Exit(1)
 		}
 		mon := suite.Monitor()
-		expvar.Publish("sweep", expvar.Func(func() interface{} { return mon.Snapshot() }))
-		dash := &tinydir.Dashboard{Reporter: mon, ObsDir: *obsDir}
+		tinydir.RegisterSweepMetrics(reg, mon)
+		http.Handle("/metrics", reg.Handler())
+		dash := &tinydir.Dashboard{Reporter: mon, ObsDir: *obsDir, Registry: reg}
 		if svc != nil {
 			dash.Fleet = func() interface{} { return svc.Coord.Status() }
 		}
@@ -326,7 +356,7 @@ func runStoreGC(cacheDir string, age time.Duration, dryRun bool) {
 
 // runWorker joins a coordinator's fleet until the sweep completes or the
 // process is signalled.
-func runWorker(url, name string, cacheBytes int64, timeout time.Duration, quiet bool) {
+func runWorker(url, name string, cacheBytes int64, timeout time.Duration, quiet bool, logger *telemetry.Logger) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var progress io.Writer
@@ -339,6 +369,7 @@ func runWorker(url, name string, cacheBytes int64, timeout time.Duration, quiet 
 		CacheBytes:  cacheBytes,
 		RunTimeout:  timeout,
 		Progress:    progress,
+		Logger:      logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: worker:", err)

@@ -14,22 +14,101 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"tinydir/internal/telemetry"
 )
 
 // Dashboard serves the live sweep view. Fleet is optional (nil for a
 // purely local sweep); it returns the coordinator's sweepd.Status (typed
 // as interface{} to keep the dependency one-way). ObsDir is optional.
+// Registry, when set, feeds the store-health panel (backend op latency
+// quantiles, cache hit rates) from the process's telemetry registry.
 type Dashboard struct {
 	Reporter *Reporter
 	Fleet    func() interface{}
 	ObsDir   string
+	Registry *telemetry.Registry
 }
 
 // dashStatus is the JSON payload behind /dash/status.
 type dashStatus struct {
-	Sweep SweepStatus
-	Fleet interface{} `json:",omitempty"`
-	Obs   []string    `json:",omitempty"`
+	Sweep  SweepStatus
+	Fleet  interface{}        `json:",omitempty"`
+	Obs    []string           `json:",omitempty"`
+	Store  []storeOpHealth    `json:",omitempty"`
+	Caches []storeCacheHealth `json:",omitempty"`
+}
+
+// storeOpHealth is one (backend, op) row of the store panel: latency
+// quantiles in microseconds from the runstore_op_duration_us histogram.
+type storeOpHealth struct {
+	Backend, Op         string
+	Count               uint64
+	P50us, P95us, P99us uint64
+	Errors              uint64
+}
+
+// storeCacheHealth is one cache tier's row.
+type storeCacheHealth struct {
+	Backend      string
+	Hits, Misses uint64
+	HitRate      float64
+	Bytes        uint64
+	Evictions    uint64
+}
+
+// storeHealth digests the registry's runstore_* series into panel rows.
+func storeHealth(snap []telemetry.SeriesSnapshot) (ops []storeOpHealth, caches []storeCacheHealth) {
+	errs := map[string]uint64{} // backend/op -> error count
+	cacheAt := map[string]int{} // backend -> index in caches
+	cache := func(backend string) *storeCacheHealth {
+		i, ok := cacheAt[backend]
+		if !ok {
+			i = len(caches)
+			caches = append(caches, storeCacheHealth{Backend: backend})
+			cacheAt[backend] = i
+		}
+		return &caches[i]
+	}
+	for _, s := range snap {
+		switch s.Name {
+		case "runstore_op_errors_total":
+			errs[s.Label("backend")+"/"+s.Label("op")] = uint64(s.Value)
+		case "runstore_cache_hits_total":
+			cache(s.Label("backend")).Hits = uint64(s.Value)
+		case "runstore_cache_misses_total":
+			cache(s.Label("backend")).Misses = uint64(s.Value)
+		case "runstore_cache_evictions_total":
+			cache(s.Label("backend")).Evictions = uint64(s.Value)
+		case "runstore_cache_bytes":
+			cache(s.Label("backend")).Bytes = uint64(s.Value)
+		}
+	}
+	for _, s := range snap {
+		if s.Name != "runstore_op_duration_us" || s.Hist == nil || s.Hist.Count == 0 {
+			continue
+		}
+		b, op := s.Label("backend"), s.Label("op")
+		ops = append(ops, storeOpHealth{
+			Backend: b, Op: op, Count: s.Hist.Count,
+			P50us: s.Hist.P50, P95us: s.Hist.P95, P99us: s.Hist.P99,
+			Errors: errs[b+"/"+op],
+		})
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Backend != ops[j].Backend {
+			return ops[i].Backend < ops[j].Backend
+		}
+		return ops[i].Op < ops[j].Op
+	})
+	for i := range caches {
+		c := &caches[i]
+		if total := c.Hits + c.Misses; total > 0 {
+			c.HitRate = float64(c.Hits) / float64(total)
+		}
+	}
+	sort.Slice(caches, func(i, j int) bool { return caches[i].Backend < caches[j].Backend })
+	return ops, caches
 }
 
 // Register mounts the dashboard on mux: the page at /, the JSON feed at
@@ -50,6 +129,9 @@ func (d *Dashboard) Register(mux *http.ServeMux) {
 		}
 		if d.Fleet != nil {
 			st.Fleet = d.Fleet()
+		}
+		if d.Registry != nil {
+			st.Store, st.Caches = storeHealth(d.Registry.Snapshot())
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(st)
@@ -105,6 +187,9 @@ th { background: #f3f3f3; }
 .num { text-align: right; font-variant-numeric: tabular-nums; }
 .muted { color: #888; }
 #err { color: #b00; }
+.badge { display: inline-block; padding: 0 .4em; border-radius: .6em; font-size: .85em; color: #fff; margin-left: .3em; }
+.straggler { background: #c80; }
+.stale { background: #b00; }
 </style>
 </head>
 <body>
@@ -125,7 +210,13 @@ th { background: #f3f3f3; }
 <tr><td class="num" id="fpending">-</td><td class="num" id="fleased">-</td><td class="num" id="fdone">-</td>
 <td class="num" id="ffailed">-</td><td class="num" id="ftotal">-</td></tr>
 </table>
-<table id="workers"><tr><th>Worker</th><th>Active unit</th><th>Idle</th><th>Completed</th><th>Failed</th></tr></table>
+<table id="workers"><tr><th>Worker</th><th>Active unit</th><th>Idle</th><th>Completed</th><th>Failed</th>
+<th>Mean wall</th><th>Exec p95</th><th>Cache hit%</th><th>Health</th></tr></table>
+</div>
+<div id="storesec" style="display:none">
+<h2>Store health</h2>
+<table id="storeops"><tr><th>Backend</th><th>Op</th><th>Count</th><th>p50 µs</th><th>p95 µs</th><th>p99 µs</th><th>Errors</th></tr></table>
+<table id="storecaches"><tr><th>Cache</th><th>Hits</th><th>Misses</th><th>Hit rate</th><th>Bytes</th><th>Evictions</th></tr></table>
 </div>
 <h2>Observability artifacts</h2>
 <ul id="obs"><li class="muted">none yet</li></ul>
@@ -140,8 +231,33 @@ function setRows(table, rows) {
   while (table.rows.length > 1) table.deleteRow(1);
   rows.forEach(function (cells) {
     var tr = table.insertRow();
-    cells.forEach(function (c) { tr.insertCell().textContent = c; });
+    cells.forEach(function (c) {
+      var td = tr.insertCell();
+      if (c && c.nodeType) td.appendChild(c); else td.textContent = c;
+    });
   });
+}
+function badges(w) { // straggler/stale flags -> colored badge pills
+  var span = document.createElement("span");
+  if (w.Straggler) {
+    var b = document.createElement("span");
+    b.className = "badge straggler"; b.textContent = "straggler";
+    b.title = "mean unit wall exceeds 3x the fleet median";
+    span.appendChild(b);
+  }
+  if (w.Stale) {
+    var b2 = document.createElement("span");
+    b2.className = "badge stale"; b2.textContent = "stale";
+    b2.title = "not heard from in over a lease TTL";
+    span.appendChild(b2);
+  }
+  if (!span.childNodes.length) span.textContent = "ok";
+  return span;
+}
+function hitRate(rep) {
+  if (!rep) return "-";
+  var total = (rep.StoreHits || 0) + (rep.StoreMisses || 0);
+  return total ? ((rep.StoreHits || 0) * 100 / total).toFixed(0) + "%" : "-";
 }
 function tick() {
   fetch("/dash/status").then(function (r) { return r.json(); }).then(function (st) {
@@ -162,9 +278,20 @@ function tick() {
       });
       setRows(document.getElementById("workers"),
         (f.Workers || []).map(function (w) {
-          return [w.Name, (w.Active || "idle").slice(0, 12), ns(w.IdleFor), w.Completed, w.Failed];
+          return [w.Name, (w.Active || "idle").slice(0, 12), ns(w.IdleFor), w.Completed, w.Failed,
+            w.MeanUnitWallMs ? w.MeanUnitWallMs.toFixed(0) + "ms" : "-",
+            w.Report && w.Report.ExecP95Ms ? w.Report.ExecP95Ms.toFixed(0) + "ms" : "-",
+            hitRate(w.Report), badges(w)];
         }));
     }
+    var ops = st.Store || [], caches = st.Caches || [];
+    document.getElementById("storesec").style.display = (ops.length || caches.length) ? "" : "none";
+    setRows(document.getElementById("storeops"), ops.map(function (o) {
+      return [o.Backend, o.Op, o.Count, o.P50us, o.P95us, o.P99us, o.Errors];
+    }));
+    setRows(document.getElementById("storecaches"), caches.map(function (c) {
+      return [c.Backend, c.Hits, c.Misses, (c.HitRate * 100).toFixed(0) + "%", c.Bytes, c.Evictions];
+    }));
     var ul = document.getElementById("obs");
     ul.innerHTML = "";
     if (!st.Obs || !st.Obs.length) {

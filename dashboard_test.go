@@ -1,0 +1,185 @@
+package tinydir
+
+// HTTP-surface tests for the dashboard (TestDashboard in
+// distributed_test.go covers the happy path): status JSON shape with
+// and without a fleet, the store-health panel, traversal hardening on
+// the obs file route (including encoded separators, which only a raw
+// request can exercise — net/http cleans paths before ServeMux routing),
+// and the root handler 404ing everything but /.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tinydir/internal/runstore"
+	"tinydir/internal/telemetry"
+)
+
+// TestDashboardStatusShape pins the /dash/status JSON keys: Fleet and
+// the store panel appear exactly when wired, never otherwise.
+func TestDashboardStatusShape(t *testing.T) {
+	fetch := func(d *Dashboard) map[string]json.RawMessage {
+		mux := http.NewServeMux()
+		d.Register(mux)
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/dash/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		var m map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Local sweep: no fleet, no store panel.
+	local := fetch(&Dashboard{Reporter: NewReporter(nil)})
+	if _, ok := local["Sweep"]; !ok {
+		t.Fatal("status missing Sweep")
+	}
+	for _, key := range []string{"Fleet", "Store", "Caches"} {
+		if _, ok := local[key]; ok {
+			t.Errorf("local status unexpectedly carries %s", key)
+		}
+	}
+
+	// Distributed sweep with telemetry: fleet and store rows present.
+	reg := telemetry.NewRegistry()
+	mem := &memStoreBackend{m: map[string][]byte{}}
+	b := runstore.NewMetrics(reg).Instrument(runstore.NewLRU(mem, 1<<20), "lru")
+	b.Put("results", "k", []byte("v"), false)
+	b.Get("results", "k")
+	dist := fetch(&Dashboard{
+		Reporter: NewReporter(nil),
+		Fleet:    func() interface{} { return map[string]int{"Pending": 2} },
+		Registry: reg,
+	})
+	if _, ok := dist["Fleet"]; !ok {
+		t.Fatal("distributed status missing Fleet")
+	}
+	var ops []storeOpHealth
+	if err := json.Unmarshal(dist["Store"], &ops); err != nil || len(ops) == 0 {
+		t.Fatalf("store panel rows: %v (%s)", err, dist["Store"])
+	}
+	var caches []storeCacheHealth
+	if err := json.Unmarshal(dist["Caches"], &caches); err != nil || len(caches) != 1 {
+		t.Fatalf("cache panel rows: %v (%s)", err, dist["Caches"])
+	}
+	if caches[0].Backend != "lru" || caches[0].HitRate != 1 {
+		t.Fatalf("cache row: %+v", caches[0])
+	}
+}
+
+// memStoreBackend is a minimal in-memory backend for dashboard tests.
+type memStoreBackend struct{ m map[string][]byte }
+
+func (b *memStoreBackend) Get(kind, key string) ([]byte, bool, error) {
+	v, ok := b.m[kind+"/"+key]
+	return v, ok, nil
+}
+func (b *memStoreBackend) Put(kind, key string, data []byte, replace bool) error {
+	b.m[kind+"/"+key] = data
+	return nil
+}
+func (b *memStoreBackend) Stat(kind, key string) (runstore.Info, bool, error) {
+	v, ok := b.m[kind+"/"+key]
+	return runstore.Info{Key: key, Size: int64(len(v))}, ok, nil
+}
+func (b *memStoreBackend) Keys(kind string) ([]runstore.Info, error) { return nil, nil }
+func (b *memStoreBackend) Delete(kind, key string) error             { delete(b.m, kind+"/"+key); return nil }
+
+// TestDashboardObsTraversalRaw sends uncleaned request targets straight
+// over the socket — the only way to exercise encoded dots and slashes,
+// since http.Get and ServeMux canonicalize first — and plants a bait
+// .epochs.csv one directory above ObsDir that must stay unreachable.
+func TestDashboardObsTraversalRaw(t *testing.T) {
+	parent := t.TempDir()
+	obsDir := filepath.Join(parent, "obs")
+	if err := os.Mkdir(obsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(parent, "bait.epochs.csv"), []byte("stolen"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(obsDir, "ok.epochs.csv"), []byte("fine"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	(&Dashboard{ObsDir: obsDir}).Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rawGet := func(target string) (status int, body string) {
+		conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n", target)
+		resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+		if err != nil {
+			t.Fatalf("raw GET %s: %v", target, err)
+		}
+		defer resp.Body.Close()
+		var buf [64]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp.StatusCode, string(buf[:n])
+	}
+
+	if status, body := rawGet("/dash/obs/ok.epochs.csv"); status != 200 || body != "fine" {
+		t.Fatalf("listed CSV over raw socket: %d %q", status, body)
+	}
+	for _, target := range []string{
+		"/dash/obs/../bait.epochs.csv",              // plain dot-dot, uncleaned
+		"/dash/obs/%2e%2e/bait.epochs.csv",          // encoded dots
+		"/dash/obs/..%2fbait.epochs.csv",            // encoded slash
+		"/dash/obs/x%2f..%2f..%2fbait.epochs.csv",   // nested encoded traversal
+		"/dash/obs//" + parent + "/bait.epochs.csv", // absolute-ish path
+	} {
+		status, body := rawGet(target)
+		if status == 200 && body == "stolen" {
+			t.Errorf("raw GET %s served the bait file outside ObsDir", target)
+		}
+	}
+}
+
+// TestDashboardRootOnlyServesRoot: the catch-all pattern must 404
+// every path it does not explicitly own, not serve the page everywhere.
+func TestDashboardRootOnlyServesRoot(t *testing.T) {
+	mux := http.NewServeMux()
+	(&Dashboard{}).Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("root page: %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/nope", "/dash", "/dash/", "/index.html"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"tinydir/internal/runstore"
 	"tinydir/internal/sweepd"
+	"tinydir/internal/telemetry"
 )
 
 // wireOptions is the JSON form of Options shipped to workers. Obs is
@@ -154,6 +155,14 @@ type WorkerConfig struct {
 	RunTimeout time.Duration
 	// Progress, when set, receives per-unit log lines.
 	Progress io.Writer
+	// Logger, when set, receives structured retry/recovery lines from
+	// the claim loop's backoff.
+	Logger *telemetry.Logger
+	// Registry, when set, additionally registers the worker's own
+	// claim/exec/report latency series (worker_*) and its store backend
+	// series (backend=http/lru) on it. The self-telemetry report pushed
+	// to the coordinator does not need a registry.
+	Registry *telemetry.Registry
 }
 
 // RunSweepWorker joins a coordinator's fleet and executes claimed units
@@ -175,9 +184,16 @@ func RunSweepWorker(ctx context.Context, cfg WorkerConfig) error {
 		}
 		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	var backend runstore.Backend = runstore.NewClient(cfg.Coordinator + "/store")
+	sm := runstore.NewMetrics(cfg.Registry) // nil Registry -> identity Instrument
+	var backend runstore.Backend = sm.Instrument(runstore.NewClient(cfg.Coordinator+"/store"), "http")
+	// The worker always carries self-telemetry: its report rides the
+	// claim/heartbeat requests it makes anyway, giving the coordinator's
+	// fleet-health table per-worker latencies without scraping workers.
+	tel := sweepd.NewWorkerTelemetry(cfg.Registry)
 	if cfg.CacheBytes > 0 {
-		backend = runstore.NewLRU(backend, cfg.CacheBytes)
+		lru := runstore.NewLRU(backend, cfg.CacheBytes)
+		tel.StoreStats = func() (uint64, uint64) { h, m := lru.Stats(); return h, m }
+		backend = sm.Instrument(lru, "lru")
 	}
 	store := NewRunStoreWithBackend(backend)
 	logf := func(format string, args ...interface{}) {
@@ -186,9 +202,11 @@ func RunSweepWorker(ctx context.Context, cfg WorkerConfig) error {
 		}
 	}
 	w := &sweepd.Worker{
-		Base: cfg.Coordinator + "/sweepd",
-		Name: cfg.Name,
-		Log:  logf,
+		Base:   cfg.Coordinator + "/sweepd",
+		Name:   cfg.Name,
+		Log:    logf,
+		Logger: cfg.Logger,
+		Tel:    tel,
 		Run: func(key string, payload []byte) ([]byte, error) {
 			return runUnit(store, payload, cfg.RunTimeout)
 		},

@@ -25,6 +25,7 @@ type LRU struct {
 	items map[string]*list.Element // composite (kind, key) -> element
 
 	hits, misses uint64 // Get answered from / past the cache
+	evictions    uint64 // entries dropped from the cold end for budget
 }
 
 type lruEntry struct {
@@ -46,6 +47,15 @@ func (l *LRU) Stats() (hits, misses uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.hits, l.misses
+}
+
+// Counters returns all three cache counters. The telemetry layer
+// exports these func-backed (read at scrape time), so the Get/Put hot
+// paths are identical with telemetry on or off.
+func (l *LRU) Counters() (hits, misses, evictions uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses, l.evictions
 }
 
 // Size returns the current cached byte count.
@@ -112,6 +122,7 @@ func (l *LRU) insert(ck string, data []byte) {
 		l.ll.Remove(el)
 		delete(l.items, e.ck)
 		l.size -= int64(len(e.data))
+		l.evictions++
 	}
 }
 

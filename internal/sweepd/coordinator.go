@@ -78,14 +78,15 @@ func (s unitState) String() string {
 }
 
 type record struct {
-	unit     Unit
-	st       unitState
-	worker   string    // current/last lease holder
-	leaseExp time.Time // valid while leased
-	expiries int
-	result   []byte
-	errmsg   string
-	done     chan struct{} // closed when st reaches done or failed
+	unit      Unit
+	st        unitState
+	worker    string    // current/last lease holder
+	leaseExp  time.Time // valid while leased
+	expiries  int
+	claimedAt time.Time // when the current/last lease was granted
+	result    []byte
+	errmsg    string
+	done      chan struct{} // closed when st reaches done or failed
 }
 
 // workerInfo is the coordinator's per-worker bookkeeping.
@@ -95,6 +96,13 @@ type workerInfo struct {
 	Active    string // key of the currently leased unit ("" when idle)
 	Completed int
 	Failed    int
+
+	// UnitWallSum/UnitsWalled accumulate claim-to-completion wall clock
+	// for this worker's units; their ratio feeds the straggler detector.
+	UnitWallSum time.Duration
+	UnitsWalled int
+	// Report is the worker's last pushed self-telemetry snapshot.
+	Report *WorkerReport
 }
 
 // Coordinator plans nothing itself: callers Submit units (typically from
@@ -107,6 +115,13 @@ type Coordinator struct {
 	// Log, when set, receives one line per lease-layer event (expiry
 	// requeues, refused duplicates). No per-claim chatter.
 	Log func(format string, args ...interface{})
+	// StragglerFactor defaults to DefaultStragglerFactor when 0.
+	StragglerFactor float64
+
+	// tel is the instrument set installed by EnableMetrics; its zero
+	// value (all-nil instruments) is telemetry off, so every hook below
+	// costs exactly one nil-receiver branch per event when disabled.
+	tel coordMetrics
 
 	mu      sync.Mutex
 	recs    map[string]*record
@@ -195,12 +210,14 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			continue
 		}
 		r.expiries++
+		c.tel.leaseExpiries.Inc()
 		if w := c.workers[r.worker]; w != nil && w.Active == key {
 			w.Active = ""
 		}
 		if r.expiries >= c.maxExpiries() {
 			r.st = stateFailed
 			r.errmsg = fmt.Sprintf("lease expired %d times (last worker %s)", r.expiries, r.worker)
+			c.tel.unitFailures.Inc()
 			close(r.done)
 			c.logf("sweepd: unit %.12s FAILED: %s", key, r.errmsg)
 			continue
@@ -212,15 +229,16 @@ func (c *Coordinator) expireLocked(now time.Time) {
 }
 
 // claim hands the oldest pending unit to a worker, or reports no work
-// (done=false) / sweep over (over=true).
-func (c *Coordinator) claim(worker string) (u Unit, ttl time.Duration, ok, over bool) {
+// (done=false) / sweep over (over=true). rep, when non-nil, is the
+// worker's pushed self-telemetry snapshot.
+func (c *Coordinator) claim(worker string, rep *WorkerReport) (u Unit, ttl time.Duration, ok, over bool) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return Unit{}, 0, false, true
 	}
-	c.touchLocked(worker, now)
+	c.touchLocked(worker, now, rep)
 	c.expireLocked(now)
 	for len(c.queue) > 0 {
 		key := c.queue[0]
@@ -232,19 +250,23 @@ func (c *Coordinator) claim(worker string) (u Unit, ttl time.Duration, ok, over 
 		r.st = stateLeased
 		r.worker = worker
 		r.leaseExp = now.Add(c.leaseTTL())
+		r.claimedAt = now
 		c.workers[worker].Active = key
+		c.tel.claims.Inc()
 		return r.unit, c.leaseTTL(), true, false
 	}
+	c.tel.claimsEmpty.Inc()
 	return Unit{}, 0, false, false
 }
 
 // heartbeat extends a worker's lease; reports false when the lease is
 // gone (expired and requeued, completed elsewhere, or never held).
-func (c *Coordinator) heartbeat(worker, key string) (ttl time.Duration, ok bool) {
+func (c *Coordinator) heartbeat(worker, key string, rep *WorkerReport) (ttl time.Duration, ok bool) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.touchLocked(worker, now)
+	c.touchLocked(worker, now, rep)
+	c.tel.heartbeats.Inc()
 	r := c.recs[key]
 	if r == nil || r.st != stateLeased || r.worker != worker || now.After(r.leaseExp) {
 		return 0, false
@@ -261,7 +283,7 @@ func (c *Coordinator) complete(worker, key string, result []byte, errmsg string)
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.touchLocked(worker, now)
+	c.touchLocked(worker, now, nil)
 	w := c.workers[worker]
 	if w.Active == key {
 		w.Active = ""
@@ -273,12 +295,22 @@ func (c *Coordinator) complete(worker, key string, result []byte, errmsg string)
 	switch r.st {
 	case stateDone:
 		if errmsg == "" && string(result) == string(r.result) {
+			c.tel.dupIdentical.Inc()
 			return nil // duplicate of the recorded result: idempotent
 		}
+		c.tel.conflicts.Inc()
 		c.logf("sweepd: refusing conflicting duplicate completion of %.12s from %s", key, worker)
 		return fmt.Errorf("sweepd: unit %s already complete with different outcome (nondeterministic worker or key collision)", key)
 	case stateFailed:
 		return nil // outcome already terminal; late result discarded
+	}
+	// Attribute claim-to-completion wall clock to the finishing worker
+	// (also on failure — a slow path to a panic is still slowness).
+	if !r.claimedAt.IsZero() {
+		wall := now.Sub(r.claimedAt)
+		w.UnitWallSum += wall
+		w.UnitsWalled++
+		c.tel.unitWallMS.Observe(uint64(wall.Milliseconds()))
 	}
 	if errmsg != "" {
 		// Worker-reported failures are deterministic (panics, blown
@@ -287,6 +319,7 @@ func (c *Coordinator) complete(worker, key string, result []byte, errmsg string)
 		r.st = stateFailed
 		r.errmsg = fmt.Sprintf("worker %s: %s", worker, errmsg)
 		w.Failed++
+		c.tel.unitFailures.Inc()
 		close(r.done)
 		return nil
 	}
@@ -294,17 +327,21 @@ func (c *Coordinator) complete(worker, key string, result []byte, errmsg string)
 	r.result = result
 	r.worker = worker
 	w.Completed++
+	c.tel.completions.Inc()
 	close(r.done)
 	return nil
 }
 
-func (c *Coordinator) touchLocked(worker string, now time.Time) {
+func (c *Coordinator) touchLocked(worker string, now time.Time, rep *WorkerReport) {
 	w := c.workers[worker]
 	if w == nil {
 		w = &workerInfo{Name: worker}
 		c.workers[worker] = w
 	}
 	w.LastSeen = now
+	if rep != nil {
+		w.Report = rep
+	}
 }
 
 // UnitStatus is one unit's row in a Status snapshot.
@@ -323,6 +360,17 @@ type WorkerStatus struct {
 	IdleFor   time.Duration
 	Completed int
 	Failed    int
+	// Units counts completions with wall-clock attribution;
+	// MeanUnitWallMs is their mean claim-to-completion wall.
+	Units          int     `json:",omitempty"`
+	MeanUnitWallMs float64 `json:",omitempty"`
+	// Straggler: mean unit wall exceeds StragglerFactor x fleet median.
+	// Stale: not heard from in over a lease TTL (heartbeats run at
+	// TTL/3, idle polls far faster — silence that long means gone).
+	Straggler bool `json:",omitempty"`
+	Stale     bool `json:",omitempty"`
+	// Report is the worker's last pushed self-telemetry snapshot.
+	Report *WorkerReport `json:",omitempty"`
 }
 
 // Status is the coordinator's live snapshot (dashboard, /status).
@@ -330,6 +378,7 @@ type Status struct {
 	Pending, Leased, Done, Failed int
 	Total                         int
 	Closed                        bool
+	Stragglers                    int `json:",omitempty"`
 	Workers                       []WorkerStatus
 	// Units carries only the non-terminal rows (pending/leased) plus
 	// failures — the interesting ones; done units are just a count.
@@ -360,12 +409,24 @@ func (c *Coordinator) Status() Status {
 		}
 	}
 	sort.Slice(st.Units, func(i, j int) bool { return st.Units[i].Key < st.Units[j].Key })
+	stragglers := c.stragglersLocked()
 	for _, w := range c.workers {
-		st.Workers = append(st.Workers, WorkerStatus{
+		ws := WorkerStatus{
 			Name: w.Name, Active: w.Active,
 			IdleFor:   now.Sub(w.LastSeen).Round(time.Millisecond),
 			Completed: w.Completed, Failed: w.Failed,
-		})
+			Units:     w.UnitsWalled,
+			Straggler: stragglers[w.Name],
+			Stale:     now.Sub(w.LastSeen) > c.leaseTTL(),
+			Report:    w.Report,
+		}
+		if w.UnitsWalled > 0 {
+			ws.MeanUnitWallMs = float64(w.meanWall()) / float64(time.Millisecond)
+		}
+		if ws.Straggler {
+			st.Stragglers++
+		}
+		st.Workers = append(st.Workers, ws)
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
 	return st
@@ -376,6 +437,9 @@ func (c *Coordinator) Status() Status {
 
 type claimRequest struct {
 	Worker string
+	// Report is an optional self-telemetry push; absent from old
+	// workers' requests (omitempty both ways keeps the wire compatible).
+	Report *WorkerReport `json:",omitempty"`
 }
 
 type claimResponse struct {
@@ -386,6 +450,7 @@ type claimResponse struct {
 
 type heartbeatRequest struct {
 	Worker, Key string
+	Report      *WorkerReport `json:",omitempty"`
 }
 
 type heartbeatResponse struct {
@@ -412,7 +477,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		u, ttl, ok, over := c.claim(req.Worker)
+		u, ttl, ok, over := c.claim(req.Worker, req.Report)
 		switch {
 		case over:
 			http.Error(w, "sweep complete", http.StatusGone)
@@ -427,7 +492,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		ttl, ok := c.heartbeat(req.Worker, req.Key)
+		ttl, ok := c.heartbeat(req.Worker, req.Key, req.Report)
 		if !ok {
 			http.Error(w, "lease gone", http.StatusGone)
 			return

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"tinydir/internal/telemetry"
 )
 
 // Worker is the pull loop of one fleet member: claim a unit, execute it
@@ -32,8 +34,20 @@ type Worker struct {
 	// up (default 20) — a vanished coordinator should stop the worker,
 	// not spin it forever.
 	MaxErrors int
+	// BackoffMax caps the exponential retry backoff on transport errors
+	// (default 15s). With the defaults a worker rides out roughly four
+	// minutes of coordinator outage — a restart, not a disappearance —
+	// before giving up.
+	BackoffMax time.Duration
 	// Log, when set, receives one line per unit and per lease event.
 	Log func(format string, args ...interface{})
+	// Logger, when set, receives structured retry/recovery lines (one
+	// per backoff attempt, satellite of the fleet-telemetry work).
+	Logger *telemetry.Logger
+	// Tel, when set, records claim/execute/report latencies and pushes
+	// a WorkerReport with every claim and heartbeat. Nil means off: no
+	// report field on the wire, byte-identical requests to old workers.
+	Tel *WorkerTelemetry
 	// HC is the HTTP client (default: a fresh http.Client).
 	HC *http.Client
 
@@ -52,6 +66,29 @@ func (w *Worker) maxErrors() int {
 		return w.MaxErrors
 	}
 	return 20
+}
+
+func (w *Worker) backoffMax() time.Duration {
+	if w.BackoffMax > 0 {
+		return w.BackoffMax
+	}
+	return 15 * time.Second
+}
+
+// backoff is the sleep before retry attempt n (1-based): the poll
+// interval doubled per consecutive failure, capped at BackoffMax.
+func (w *Worker) backoff(n int) time.Duration {
+	d := w.poll()
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= w.backoffMax() {
+			return w.backoffMax()
+		}
+	}
+	if d > w.backoffMax() {
+		return w.backoffMax()
+	}
+	return d
 }
 
 func (w *Worker) hc() *http.Client {
@@ -82,14 +119,31 @@ func (w *Worker) Loop(ctx context.Context) error {
 		}
 		cl, status, err := w.claim()
 		if err != nil {
+			// Transient transport failure — the coordinator may just be
+			// restarting. Back off exponentially (poll interval doubled
+			// per consecutive failure, capped) rather than hammering it,
+			// and give up only after MaxErrors straight failures. A 410
+			// is not an error: sweep-over still sends the fleet home
+			// through the StatusGone arm below.
 			errs++
 			if errs >= w.maxErrors() {
+				w.Logger.Error("giving up on coordinator",
+					telemetry.F("worker", w.Name), telemetry.F("attempts", errs), telemetry.F("err", err))
 				return fmt.Errorf("sweepd: worker %s: coordinator unreachable after %d attempts: %w", w.Name, errs, err)
 			}
-			if !sleepCtx(ctx, w.poll()) {
+			wait := w.backoff(errs)
+			w.Logger.Warn("coordinator unreachable, backing off",
+				telemetry.F("worker", w.Name), telemetry.F("attempt", errs),
+				telemetry.F("max_attempts", w.maxErrors()), telemetry.F("backoff", wait),
+				telemetry.F("err", err))
+			if !sleepCtx(ctx, wait) {
 				return ctx.Err()
 			}
 			continue
+		}
+		if errs > 0 {
+			w.Logger.Info("coordinator reachable again",
+				telemetry.F("worker", w.Name), telemetry.F("failed_attempts", errs))
 		}
 		errs = 0
 		switch status {
@@ -111,8 +165,13 @@ func (w *Worker) process(ctx context.Context, cl claimResponse) {
 	w.logf("worker %s: claimed %.12s", w.Name, cl.Key)
 	hbCtx, stopHB := context.WithCancel(ctx)
 	go w.heartbeatLoop(hbCtx, cl)
+	execStart := time.Now()
 	result, err := w.Run(cl.Key, cl.Payload)
 	stopHB()
+	if w.Tel != nil {
+		observeUS(w.Tel.exec, time.Since(execStart))
+		w.Tel.units.Inc()
+	}
 	atomic.AddUint64(&w.units, 1)
 	errmsg := ""
 	if err != nil {
@@ -124,7 +183,12 @@ func (w *Worker) process(ctx context.Context, cl claimResponse) {
 	// Report even after a lost lease: the coordinator's exactly-once
 	// merge acknowledges identical duplicates and refuses divergent
 	// ones loudly.
-	if derr := w.post("/done", doneRequest{Worker: w.Name, Key: cl.Key, Result: result, Err: errmsg}, nil); derr != nil {
+	postStart := time.Now()
+	derr := w.post("/done", doneRequest{Worker: w.Name, Key: cl.Key, Result: result, Err: errmsg}, nil)
+	if w.Tel != nil {
+		observeUS(w.Tel.report, time.Since(postStart))
+	}
+	if derr != nil {
 		w.logf("worker %s: reporting %.12s: %v", w.Name, cl.Key, derr)
 	}
 }
@@ -141,7 +205,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cl claimResponse) {
 			return
 		}
 		var resp heartbeatResponse
-		err := w.post("/heartbeat", heartbeatRequest{Worker: w.Name, Key: cl.Key}, &resp)
+		err := w.post("/heartbeat", heartbeatRequest{Worker: w.Name, Key: cl.Key, Report: w.Tel.Report()}, &resp)
 		if err == errGone {
 			// Lease lost (expired or completed elsewhere). The unit
 			// cannot be aborted mid-simulation; finish and let the
@@ -151,6 +215,8 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cl claimResponse) {
 		}
 		if err != nil {
 			w.logf("worker %s: heartbeat %.12s: %v", w.Name, cl.Key, err)
+			w.Logger.Warn("heartbeat failed, lease still ticking",
+				telemetry.F("worker", w.Name), telemetry.F("unit", cl.Key), telemetry.F("err", err))
 		}
 	}
 }
@@ -158,9 +224,13 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cl claimResponse) {
 // claim asks for work. status is one of 200 (cl valid), 204 (no work
 // yet) or 410 (sweep over).
 func (w *Worker) claim() (cl claimResponse, status int, err error) {
-	status, err = w.postStatus("/claim", claimRequest{Worker: w.Name}, &cl)
+	start := time.Now()
+	status, err = w.postStatus("/claim", claimRequest{Worker: w.Name, Report: w.Tel.Report()}, &cl)
 	if err != nil {
 		return claimResponse{}, 0, err
+	}
+	if w.Tel != nil {
+		observeUS(w.Tel.claim, time.Since(start))
 	}
 	switch status {
 	case http.StatusOK, http.StatusNoContent, http.StatusGone:

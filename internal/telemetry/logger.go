@@ -1,0 +1,195 @@
+package telemetry
+
+// The service layer's structured logger. The simulation core stays
+// print-free (determinism-tested byte output); the fleet — coordinator,
+// workers, store backends — logs discrete events with fields, either as
+// human-readable lines or as one JSON object per line for ingestion.
+//
+// A nil *Logger discards everything, so components take a logger
+// unconditionally and "quiet" is the zero-configuration default — the
+// same nil-off discipline as the metrics side.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The default CLI level is LevelWarn:
+// routine chatter (per-unit progress) stays out of the way unless asked
+// for with -log-level info|debug.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+var levelNames = [...]string{"debug", "info", "warn", "error"}
+
+func (l Level) String() string {
+	if l >= LevelDebug && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelWarn, fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// Field is one structured key/value pair.
+type Field struct {
+	Key   string
+	Value interface{}
+}
+
+// F builds a Field tersely: F("worker", name).
+func F(key string, value interface{}) Field { return Field{Key: key, Value: value} }
+
+// Logger writes leveled, structured lines to one writer. Safe for
+// concurrent use; a nil Logger discards everything.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	json  bool
+	base  []Field          // fields bound by With, prepended to every line
+	now   func() time.Time // test seam
+}
+
+// NewLogger creates a logger writing lines at or above level to w.
+// jsonOut selects one-JSON-object-per-line output; otherwise lines are
+// "ts LEVEL msg key=value ...".
+func NewLogger(w io.Writer, level Level, jsonOut bool) *Logger {
+	return &Logger{w: w, level: level, json: jsonOut, now: time.Now}
+}
+
+// With returns a logger that adds fields to every line (shares the
+// writer and level with its parent). Nil-safe.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	child := &Logger{w: l.w, level: l.level, json: l.json, now: l.now}
+	child.base = append(append([]Field(nil), l.base...), fields...)
+	return child
+}
+
+// Enabled reports whether a line at lv would be emitted — callers with
+// expensive field construction can gate on it.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.level }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	var line []byte
+	if l.json {
+		line = l.jsonLine(ts, lv, msg, fields)
+	} else {
+		line = l.textLine(ts, lv, msg, fields)
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// jsonLine renders {"ts":…,"level":…,"msg":…, fields…} with base fields
+// before call fields and later duplicates winning (JSON object key
+// order is preserved by hand-assembling the document).
+func (l *Logger) jsonLine(ts string, lv Level, msg string, fields []Field) []byte {
+	// Deduplicate keeping last occurrence, preserving first-seen order.
+	keys := []string{"ts", "level", "msg"}
+	vals := map[string]interface{}{"ts": ts, "level": lv.String(), "msg": msg}
+	for _, f := range append(append([]Field(nil), l.base...), fields...) {
+		if f.Key == "ts" || f.Key == "level" || f.Key == "msg" {
+			continue
+		}
+		if _, seen := vals[f.Key]; !seen {
+			keys = append(keys, f.Key)
+		}
+		vals[f.Key] = normalizeValue(f.Value)
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(vals[k])
+		if err != nil {
+			vb, _ = json.Marshal(fmt.Sprint(vals[k]))
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		b.Write(vb)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+func (l *Logger) textLine(ts string, lv Level, msg string, fields []Field) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-5s %s", ts, strings.ToUpper(lv.String()), msg)
+	for _, f := range append(append([]Field(nil), l.base...), fields...) {
+		fmt.Fprintf(&b, " %s=%s", f.Key, textValue(f.Value))
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// normalizeValue maps awkward-to-marshal values (errors, durations)
+// onto their readable forms.
+func normalizeValue(v interface{}) interface{} {
+	switch x := v.(type) {
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	}
+	return v
+}
+
+func textValue(v interface{}) string {
+	s := fmt.Sprint(normalizeValue(v))
+	if strings.ContainsAny(s, " \t\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}
