@@ -33,9 +33,11 @@
 // run store mounted over HTTP:
 //
 //	experiments -serve -http :6060 -cache-dir runs -fig 1 -csv   # coordinator
+//	experiments -serve ... -journal-dir wal                      # crash-safe: restart resumes
 //	experiments -worker http://localhost:6060                    # each worker
 //	experiments -store-gc 720h -cache-dir runs                   # prune stale entries
-//	experiments -store-gc 720h -store-gc-dry-run -cache-dir runs # preview only
+//	experiments -store-gc 720h -store-gc-dry-run -cache-dir runs # preview, per-kind breakdown
+//	experiments -store-scrub -cache-dir runs                     # verify digests, quarantine rot
 //
 // Figure output from a distributed sweep is byte-identical to a local
 // run: workers dedup through the same content-addressed store and the
@@ -80,6 +82,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -110,6 +113,9 @@ func main() {
 		workerLRU  = flag.Int64("worker-cache", 64<<20, "worker-side in-memory result cache over the coordinator's store, in bytes (0 = none)")
 		storeGC    = flag.Duration("store-gc", 0, "prune -cache-dir entries older than this age and exit (e.g. 720h)")
 		storeGCDry = flag.Bool("store-gc-dry-run", false, "with -store-gc: report what would be pruned without deleting")
+		storeScrub = flag.Bool("store-scrub", false, "verify every -cache-dir entry against its digest sidecar (quarantining corrupt ones) and exit")
+		storeMax   = flag.Int64("store-max-blob", 0, "per-entry byte cap on the -serve blob store's PUT bodies; oversized uploads get 413 (0 = 1 GiB default)")
+		journalDir = flag.String("journal-dir", "", "with -serve: write-ahead journal directory; restarting on the same directory resumes the sweep crash-safely")
 		soak       = flag.Int("soak", 0, "run a fault-injection soak over this many seeds per scheme instead of figures")
 		soakApp    = flag.String("soak-app", "", "pin -soak to one workload (default: rotate barnes + the five families)")
 		traceFile  = flag.String("trace-file", "", "replay a trace file (tracegen -write) through one scheme instead of figures")
@@ -137,6 +143,10 @@ func main() {
 	}
 	if *storeGC > 0 {
 		runStoreGC(*cacheDir, *storeGC, *storeGCDry)
+		return
+	}
+	if *storeScrub {
+		runStoreScrub(*cacheDir)
 		return
 	}
 	if *workerURL != "" {
@@ -245,7 +255,18 @@ func main() {
 		if *obsDir != "" {
 			fmt.Fprintln(os.Stderr, "experiments: note: dispatched runs execute on workers; -obs-dir records no per-run artifacts in -serve mode")
 		}
-		svc = tinydir.AttachSweepService(suite, suite.Store, http.DefaultServeMux)
+		svc, err = tinydir.AttachSweepServiceCfg(suite, suite.Store, http.DefaultServeMux, tinydir.SweepServiceConfig{
+			JournalDir:   *journalDir,
+			MaxBlobBytes: *storeMax,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *journalDir != "" {
+			logger.Info("sweep journal attached",
+				telemetry.F("dir", *journalDir), telemetry.F("epoch", svc.Coord.Epoch()))
+		}
 		svc.Coord.LeaseTTL = *leaseTTL
 		svc.Coord.Log = func(format string, args ...interface{}) {
 			logger.Info(fmt.Sprintf(format, args...))
@@ -352,6 +373,53 @@ func runStoreGC(cacheDir string, age time.Duration, dryRun bool) {
 	}
 	fmt.Printf("store-gc: scanned %d entries, %s %d (%d bytes), kept %d\n",
 		stats.Scanned, verb, stats.Pruned, stats.PrunedBytes, stats.Kept)
+	var totalPruned int64
+	for _, kind := range sortedKinds(stats.Kinds) {
+		ks := stats.Kinds[kind]
+		totalPruned += ks.PrunedBytes
+		fmt.Printf("store-gc:   %-22s scanned %d, %s %d (%d bytes), kept %d\n",
+			kind, ks.Scanned, verb, ks.Pruned, ks.PrunedBytes, ks.Kept)
+	}
+	fmt.Printf("store-gc: total %s %d bytes across all kinds\n", verb, totalPruned)
+}
+
+func sortedKinds[V any](m map[string]V) []string {
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// runStoreScrub verifies every store entry against its digest sidecar,
+// quarantining corrupt ones, and exits nonzero if any were found.
+func runStoreScrub(cacheDir string) {
+	if cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -store-scrub requires -cache-dir")
+		os.Exit(2)
+	}
+	store, err := tinydir.NewRunStore(cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	stats, err := store.Scrub()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: store-scrub:", err)
+		os.Exit(1)
+	}
+	quarantined := 0
+	for _, kind := range sortedKinds(stats.Kinds) {
+		ks := stats.Kinds[kind]
+		quarantined += ks.Quarantined
+		fmt.Printf("store-scrub: %-12s scanned %d (%d bytes): %d ok, %d backfilled, %d quarantined, %d errors\n",
+			kind, ks.Scanned, ks.Bytes, ks.OK, ks.Backfilled, ks.Quarantined, ks.Errors)
+	}
+	if quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: store-scrub: %d corrupt entries quarantined (their keys re-simulate on next use)\n", quarantined)
+		os.Exit(1)
+	}
 }
 
 // runWorker joins a coordinator's fleet until the sweep completes or the

@@ -32,11 +32,12 @@ type Dashboard struct {
 
 // dashStatus is the JSON payload behind /dash/status.
 type dashStatus struct {
-	Sweep  SweepStatus
-	Fleet  interface{}        `json:",omitempty"`
-	Obs    []string           `json:",omitempty"`
-	Store  []storeOpHealth    `json:",omitempty"`
-	Caches []storeCacheHealth `json:",omitempty"`
+	Sweep     SweepStatus
+	Fleet     interface{}            `json:",omitempty"`
+	Obs       []string               `json:",omitempty"`
+	Store     []storeOpHealth        `json:",omitempty"`
+	Caches    []storeCacheHealth     `json:",omitempty"`
+	Integrity []storeIntegrityHealth `json:",omitempty"`
 }
 
 // storeOpHealth is one (backend, op) row of the store panel: latency
@@ -57,8 +58,21 @@ type storeCacheHealth struct {
 	Evictions    uint64
 }
 
+// storeIntegrityHealth is one verified tier's row: end-to-end digest
+// verification outcomes plus scrub-pass totals. A nonzero Quarantined
+// is the headline — the store served (and then quarantined) corruption.
+type storeIntegrityHealth struct {
+	Backend          string
+	Verified         uint64
+	Backfilled       uint64
+	Quarantined      uint64
+	DigestErrs       uint64
+	ScrubScanned     uint64
+	ScrubQuarantined uint64
+}
+
 // storeHealth digests the registry's runstore_* series into panel rows.
-func storeHealth(snap []telemetry.SeriesSnapshot) (ops []storeOpHealth, caches []storeCacheHealth) {
+func storeHealth(snap []telemetry.SeriesSnapshot) (ops []storeOpHealth, caches []storeCacheHealth, integ []storeIntegrityHealth) {
 	errs := map[string]uint64{} // backend/op -> error count
 	cacheAt := map[string]int{} // backend -> index in caches
 	cache := func(backend string) *storeCacheHealth {
@@ -69,6 +83,16 @@ func storeHealth(snap []telemetry.SeriesSnapshot) (ops []storeOpHealth, caches [
 			cacheAt[backend] = i
 		}
 		return &caches[i]
+	}
+	integAt := map[string]int{} // backend -> index in integ
+	verified := func(backend string) *storeIntegrityHealth {
+		i, ok := integAt[backend]
+		if !ok {
+			i = len(integ)
+			integ = append(integ, storeIntegrityHealth{Backend: backend})
+			integAt[backend] = i
+		}
+		return &integ[i]
 	}
 	for _, s := range snap {
 		switch s.Name {
@@ -82,6 +106,18 @@ func storeHealth(snap []telemetry.SeriesSnapshot) (ops []storeOpHealth, caches [
 			cache(s.Label("backend")).Evictions = uint64(s.Value)
 		case "runstore_cache_bytes":
 			cache(s.Label("backend")).Bytes = uint64(s.Value)
+		case "runstore_integrity_verified_total":
+			verified(s.Label("backend")).Verified = uint64(s.Value)
+		case "runstore_integrity_backfills_total":
+			verified(s.Label("backend")).Backfilled = uint64(s.Value)
+		case "runstore_integrity_quarantines_total":
+			verified(s.Label("backend")).Quarantined = uint64(s.Value)
+		case "runstore_integrity_digest_errors_total":
+			verified(s.Label("backend")).DigestErrs = uint64(s.Value)
+		case "runstore_scrub_scanned_total":
+			verified(s.Label("backend")).ScrubScanned = uint64(s.Value)
+		case "runstore_scrub_quarantined_total":
+			verified(s.Label("backend")).ScrubQuarantined = uint64(s.Value)
 		}
 	}
 	for _, s := range snap {
@@ -108,7 +144,8 @@ func storeHealth(snap []telemetry.SeriesSnapshot) (ops []storeOpHealth, caches [
 		}
 	}
 	sort.Slice(caches, func(i, j int) bool { return caches[i].Backend < caches[j].Backend })
-	return ops, caches
+	sort.Slice(integ, func(i, j int) bool { return integ[i].Backend < integ[j].Backend })
+	return ops, caches, integ
 }
 
 // Register mounts the dashboard on mux: the page at /, the JSON feed at
@@ -131,7 +168,7 @@ func (d *Dashboard) Register(mux *http.ServeMux) {
 			st.Fleet = d.Fleet()
 		}
 		if d.Registry != nil {
-			st.Store, st.Caches = storeHealth(d.Registry.Snapshot())
+			st.Store, st.Caches, st.Integrity = storeHealth(d.Registry.Snapshot())
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(st)
@@ -206,10 +243,11 @@ th { background: #f3f3f3; }
 <div id="fleetsec" style="display:none">
 <h2>Fleet</h2>
 <table id="fleetsum">
-<tr><th>Pending</th><th>Leased</th><th>Done</th><th>Failed</th><th>Total</th></tr>
+<tr><th>Pending</th><th>Leased</th><th>Done</th><th>Failed</th><th>Total</th><th>Epoch</th></tr>
 <tr><td class="num" id="fpending">-</td><td class="num" id="fleased">-</td><td class="num" id="fdone">-</td>
-<td class="num" id="ffailed">-</td><td class="num" id="ftotal">-</td></tr>
+<td class="num" id="ffailed">-</td><td class="num" id="ftotal">-</td><td class="num" id="fepoch">-</td></tr>
 </table>
+<p id="journal" class="muted"></p>
 <table id="workers"><tr><th>Worker</th><th>Active unit</th><th>Idle</th><th>Completed</th><th>Failed</th>
 <th>Mean wall</th><th>Exec p95</th><th>Cache hit%</th><th>Health</th></tr></table>
 </div>
@@ -217,6 +255,7 @@ th { background: #f3f3f3; }
 <h2>Store health</h2>
 <table id="storeops"><tr><th>Backend</th><th>Op</th><th>Count</th><th>p50 µs</th><th>p95 µs</th><th>p99 µs</th><th>Errors</th></tr></table>
 <table id="storecaches"><tr><th>Cache</th><th>Hits</th><th>Misses</th><th>Hit rate</th><th>Bytes</th><th>Evictions</th></tr></table>
+<table id="storeinteg"><tr><th>Verified tier</th><th>Verified</th><th>Backfilled</th><th>Quarantined</th><th>Digest errs</th><th>Scrubbed</th><th>Scrub quarantined</th></tr></table>
 </div>
 <h2>Observability artifacts</h2>
 <ul id="obs"><li class="muted">none yet</li></ul>
@@ -273,9 +312,14 @@ function tick() {
     var f = st.Fleet;
     document.getElementById("fleetsec").style.display = f ? "" : "none";
     if (f) {
-      ["Pending", "Leased", "Done", "Failed", "Total"].forEach(function (k) {
+      ["Pending", "Leased", "Done", "Failed", "Total", "Epoch"].forEach(function (k) {
         document.getElementById("f" + k.toLowerCase()).textContent = f[k] || 0;
       });
+      var j = f.Journal;
+      document.getElementById("journal").textContent = j
+        ? "journal: " + j.Dir + " — " + (j.Records || 0) + " records, " + (j.Bytes || 0) +
+          " bytes, " + (j.Fsyncs || 0) + " fsyncs, " + (j.Compactions || 0) + " compactions"
+        : "journal: none (in-memory coordinator; not crash-safe)";
       setRows(document.getElementById("workers"),
         (f.Workers || []).map(function (w) {
           return [w.Name, (w.Active || "idle").slice(0, 12), ns(w.IdleFor), w.Completed, w.Failed,
@@ -284,13 +328,19 @@ function tick() {
             hitRate(w.Report), badges(w)];
         }));
     }
-    var ops = st.Store || [], caches = st.Caches || [];
-    document.getElementById("storesec").style.display = (ops.length || caches.length) ? "" : "none";
+    var ops = st.Store || [], caches = st.Caches || [], integ = st.Integrity || [];
+    document.getElementById("storesec").style.display = (ops.length || caches.length || integ.length) ? "" : "none";
     setRows(document.getElementById("storeops"), ops.map(function (o) {
       return [o.Backend, o.Op, o.Count, o.P50us, o.P95us, o.P99us, o.Errors];
     }));
     setRows(document.getElementById("storecaches"), caches.map(function (c) {
       return [c.Backend, c.Hits, c.Misses, (c.HitRate * 100).toFixed(0) + "%", c.Bytes, c.Evictions];
+    }));
+    setRows(document.getElementById("storeinteg"), integ.map(function (v) {
+      var q = document.createElement("span");
+      q.textContent = v.Quarantined || 0;
+      if (v.Quarantined) { q.className = "badge stale"; q.title = "corrupt entries quarantined"; }
+      return [v.Backend, v.Verified, v.Backfilled, q, v.DigestErrs, v.ScrubScanned, v.ScrubQuarantined];
     }));
     var ul = document.getElementById("obs");
     ul.innerHTML = "";

@@ -87,6 +87,18 @@ type SweepService struct {
 	suite *Suite
 }
 
+// SweepServiceConfig tunes AttachSweepServiceCfg beyond the defaults.
+type SweepServiceConfig struct {
+	// JournalDir, when set, makes the coordinator crash-safe: every unit
+	// lifecycle transition is journaled there (internal/sweepd's WAL),
+	// and a coordinator restarted on the same directory recovers its
+	// exact queue/lease/done state under a bumped fencing epoch.
+	JournalDir string
+	// MaxBlobBytes caps one blob-store entry's PUT body (0 = the
+	// protocol's 1 GiB default). Oversized uploads are refused with 413.
+	MaxBlobBytes int64
+}
+
 // AttachSweepService turns a suite into a sweep coordinator: it mounts
 // the work-unit API under /sweepd/ and the shared blob store under
 // /store/ on mux, and installs a Suite.Dispatch that enqueues every
@@ -95,11 +107,33 @@ type SweepService struct {
 // is both the dedup cache workers share over HTTP and the merge target
 // for returned results.
 func AttachSweepService(s *Suite, store *RunStore, mux *http.ServeMux) *SweepService {
-	svc := &SweepService{Coord: sweepd.New(), store: store, suite: s}
-	mux.Handle("/sweepd/", http.StripPrefix("/sweepd", svc.Coord.Handler()))
-	mux.Handle("/store/", http.StripPrefix("/store", runstore.NewServer(store.Backend())))
-	s.Dispatch = svc.dispatch
+	svc, err := AttachSweepServiceCfg(s, store, mux, SweepServiceConfig{})
+	if err != nil {
+		// Unreachable without a journal dir; keep the legacy signature.
+		panic(err)
+	}
 	return svc
+}
+
+// AttachSweepServiceCfg is AttachSweepService with a config: a journal
+// directory for crash-safe coordination and a blob-store PUT body cap.
+// With JournalDir set the coordinator is recovered from (or initialized
+// in) that directory — restarting the process on the same directory
+// resumes the sweep where it died, fencing the previous incarnation's
+// stale traffic by epoch.
+func AttachSweepServiceCfg(s *Suite, store *RunStore, mux *http.ServeMux, cfg SweepServiceConfig) (*SweepService, error) {
+	coord := sweepd.New()
+	if cfg.JournalDir != "" {
+		var err error
+		if coord, err = sweepd.RecoverCoordinator(cfg.JournalDir); err != nil {
+			return nil, fmt.Errorf("tinydir: sweep journal: %w", err)
+		}
+	}
+	svc := &SweepService{Coord: coord, store: store, suite: s}
+	mux.Handle("/sweepd/", http.StripPrefix("/sweepd", svc.Coord.Handler()))
+	mux.Handle("/store/", http.StripPrefix("/store", runstore.NewServerLimit(store.Backend(), cfg.MaxBlobBytes)))
+	s.Dispatch = svc.dispatch
+	return svc, nil
 }
 
 // Close shuts the coordinator down (pending dispatches unblock; workers'
@@ -195,6 +229,11 @@ func RunSweepWorker(ctx context.Context, cfg WorkerConfig) error {
 		tel.StoreStats = func() (uint64, uint64) { h, m := lru.Stats(); return h, m }
 		backend = sm.Instrument(lru, "lru")
 	}
+	// The integrity layer sits outermost so even locally-cached bytes
+	// verify against their sidecar digest on every read; its warnings
+	// and counters (runstore_integrity_*) flag a corrupt shared store
+	// from whichever worker trips over it first.
+	backend = sm.Instrument(verifyBackend(backend), "verified")
 	store := NewRunStoreWithBackend(backend)
 	logf := func(format string, args ...interface{}) {
 		if cfg.Progress != nil {

@@ -185,6 +185,15 @@ func mix(seed, comp, n uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Splitmix exposes the counter-based finalizer for other deterministic
+// fault layers (the sweep chaos proxy draws its injection stream from
+// it): uniform 64-bit output fully determined by (seed, comp, n).
+func Splitmix(seed, comp, n uint64) uint64 { return mix(seed, comp, n) }
+
+// Threshold exposes the probability-to-threshold conversion used with
+// Splitmix draws: P(Splitmix(...) < Threshold(p)) = p.
+func Threshold(p float64) uint64 { return threshold(p) }
+
 // draw advances component comp's counter and returns a fresh 64-bit
 // uniform value.
 func (f *Injector) draw(comp int) uint64 {

@@ -37,6 +37,11 @@ func backends(t *testing.T) map[string]func(t *testing.T) Backend {
 		"lru-dir":  func(t *testing.T) Backend { return NewLRU(newDir(t), 1<<20) },
 		"http":     newHTTP,
 		"lru-http": func(t *testing.T) Backend { return NewLRU(newHTTP(t), 1<<20) },
+		// The integrity layer must be invisible when nothing is corrupt:
+		// the exact same contract through digest writes and verification,
+		// both locally and across the wire (the worker's real stack).
+		"verified-dir":      func(t *testing.T) Backend { return NewVerified(newDir(t)) },
+		"verified-lru-http": func(t *testing.T) Backend { return NewVerified(NewLRU(newHTTP(t), 1<<20)) },
 	}
 }
 

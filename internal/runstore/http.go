@@ -13,8 +13,18 @@ package runstore
 // entry (the caller-decided debris-replacement path); without it the
 // server refuses differing bytes with 409 Conflict, carrying the
 // collision semantics across the wire unchanged. Atomicity rides on the
-// server's inner backend: the server buffers the full body before
+// server's inner backend: the server buffers the full body (bounded by
+// http.MaxBytesReader; an oversized body is refused with 413) before
 // calling Put, so a slow or dying client never exposes partial bytes.
+//
+// Integrity crosses the wire in both directions via X-Runstore-Digest
+// (hex sha256 of the body): the server stamps it on every GET and the
+// client refuses a body that hashes differently; the client stamps it
+// on every PUT and the server refuses (400) before touching the
+// backend. Either refusal marks the transfer corrupt, and since every
+// blob operation is idempotent, the client retries transient failures —
+// transport errors, 5xx, truncations, digest mismatches — a bounded
+// number of times before reporting the error.
 
 import (
 	"bytes"
@@ -25,14 +35,23 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
 const (
 	replaceHeader = "X-Runstore-Replace"
+	digestHeader  = "X-Runstore-Digest"
 	// maxBlobBytes bounds one entry (results are KBs, checkpoints MBs;
 	// 1 GiB is a generous ceiling that still stops a hostile client
-	// from ballooning the server's memory).
+	// from ballooning the server's memory). NewServerLimit lowers it.
 	maxBlobBytes = 1 << 30
+
+	// clientAttempts bounds retries of one blob operation. Every verb is
+	// idempotent (PUT's collision refusal is stable), so replaying a
+	// request that died to a flaky network or a mid-restart coordinator
+	// is always safe.
+	clientAttempts = 3
+	clientBackoff  = 25 * time.Millisecond
 )
 
 // Client is the HTTP Backend: every method is one round trip to a
@@ -57,27 +76,65 @@ func (c *Client) url(kind, key string) string {
 	return c.base + "/" + kind + "/" + key
 }
 
+// errTransient marks a failure worth replaying: the operation may well
+// succeed against a healthy connection (or a restarted coordinator).
+var errTransient = errors.New("runstore: transient")
+
+func transient(err error) error { return fmt.Errorf("%w: %w", errTransient, err) }
+
+// retry replays op while it fails transiently, with a short linear
+// backoff, and returns the last error.
+func retry(op func() error) error {
+	var err error
+	for attempt := 0; attempt < clientAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(clientBackoff * time.Duration(attempt))
+		}
+		if err = op(); !errors.Is(err, errTransient) {
+			return err
+		}
+	}
+	return err
+}
+
 // Get implements Backend.
 func (c *Client) Get(kind, key string) ([]byte, bool, error) {
 	if err := checkNames(kind, key); err != nil {
 		return nil, false, err
 	}
-	resp, err := c.hc.Get(c.url(kind, key))
+	var body []byte
+	var found bool
+	err := retry(func() error {
+		body, found = nil, false
+		resp, err := c.hc.Get(c.url(kind, key))
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			b, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+			if err != nil {
+				return transient(err) // truncated mid-body
+			}
+			if want := resp.Header.Get(digestHeader); want != "" && want != Digest(b) {
+				return transient(fmt.Errorf("GET %s/%s: body hashes to %s, server said %s (wire corruption)",
+					kind, key, short(Digest(b)), short(want)))
+			}
+			body, found = b, true
+			return nil
+		case http.StatusNotFound:
+			return nil
+		}
+		if resp.StatusCode >= 500 {
+			return transient(fmt.Errorf("GET %s/%s: %s", kind, key, resp.Status))
+		}
+		return fmt.Errorf("runstore: GET %s/%s: %s", kind, key, resp.Status)
+	})
 	if err != nil {
 		return nil, false, fmt.Errorf("runstore: %w", err)
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		b, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
-		if err != nil {
-			return nil, false, fmt.Errorf("runstore: %w", err)
-		}
-		return b, true, nil
-	case http.StatusNotFound:
-		return nil, false, nil
-	}
-	return nil, false, fmt.Errorf("runstore: GET %s/%s: %s", kind, key, resp.Status)
+	return body, found, nil
 }
 
 // Put implements Backend.
@@ -85,26 +142,36 @@ func (c *Client) Put(kind, key string, data []byte, replace bool) error {
 	if err := checkNames(kind, key); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, c.url(kind, key), bytes.NewReader(data))
-	if err != nil {
-		return fmt.Errorf("runstore: %w", err)
-	}
-	if replace {
-		req.Header.Set(replaceHeader, "1")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("runstore: %w", err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-	switch resp.StatusCode {
-	case http.StatusNoContent, http.StatusOK:
-		return nil
-	case http.StatusConflict:
-		return fmt.Errorf("%w: key %s", ErrDiffers, key)
-	}
-	return fmt.Errorf("runstore: PUT %s/%s: %s", kind, key, resp.Status)
+	digest := Digest(data)
+	return retry(func() error {
+		req, err := http.NewRequest(http.MethodPut, c.url(kind, key), bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("runstore: %w", err)
+		}
+		if replace {
+			req.Header.Set(replaceHeader, "1")
+		}
+		req.Header.Set(digestHeader, digest)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		switch {
+		case resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusConflict:
+			return fmt.Errorf("%w: key %s", ErrDiffers, key)
+		case resp.StatusCode == http.StatusBadRequest && bytes.Contains(msg, []byte("digest")):
+			// The server saw bytes that hash differently than we sent:
+			// the request body was corrupted in flight. Replay it.
+			return transient(fmt.Errorf("PUT %s/%s: %s: %s", kind, key, resp.Status, msg))
+		case resp.StatusCode >= 500:
+			return transient(fmt.Errorf("PUT %s/%s: %s", kind, key, resp.Status))
+		}
+		return fmt.Errorf("runstore: PUT %s/%s: %s", kind, key, resp.Status)
+	})
 }
 
 // Stat implements Backend.
@@ -112,22 +179,35 @@ func (c *Client) Stat(kind, key string) (Info, bool, error) {
 	if err := checkNames(kind, key); err != nil {
 		return Info{}, false, err
 	}
-	resp, err := c.hc.Head(c.url(kind, key))
+	var info Info
+	var found bool
+	err := retry(func() error {
+		info, found = Info{}, false
+		resp, err := c.hc.Head(c.url(kind, key))
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			info = Info{Key: key, Size: resp.ContentLength}
+			if t, err := http.ParseTime(resp.Header.Get("Last-Modified")); err == nil {
+				info.ModTime = t
+			}
+			found = true
+			return nil
+		case http.StatusNotFound:
+			return nil
+		}
+		if resp.StatusCode >= 500 {
+			return transient(fmt.Errorf("HEAD %s/%s: %s", kind, key, resp.Status))
+		}
+		return fmt.Errorf("runstore: HEAD %s/%s: %s", kind, key, resp.Status)
+	})
 	if err != nil {
 		return Info{}, false, fmt.Errorf("runstore: %w", err)
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		info := Info{Key: key, Size: resp.ContentLength}
-		if t, err := http.ParseTime(resp.Header.Get("Last-Modified")); err == nil {
-			info.ModTime = t
-		}
-		return info, true, nil
-	case http.StatusNotFound:
-		return Info{}, false, nil
-	}
-	return Info{}, false, fmt.Errorf("runstore: HEAD %s/%s: %s", kind, key, resp.Status)
+	return info, found, nil
 }
 
 // Keys implements Backend.
@@ -135,16 +215,26 @@ func (c *Client) Keys(kind string) ([]Info, error) {
 	if !ValidName(kind) {
 		return nil, fmt.Errorf("runstore: invalid kind %q", kind)
 	}
-	resp, err := c.hc.Get(c.url(kind, ""))
-	if err != nil {
-		return nil, fmt.Errorf("runstore: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("runstore: LIST %s: %s", kind, resp.Status)
-	}
 	var infos []Info
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBlobBytes)).Decode(&infos); err != nil {
+	err := retry(func() error {
+		infos = nil
+		resp, err := c.hc.Get(c.url(kind, ""))
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			return transient(fmt.Errorf("LIST %s: %s", kind, resp.Status))
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("runstore: LIST %s: %s", kind, resp.Status)
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBlobBytes)).Decode(&infos); err != nil {
+			return transient(err) // truncated or garbled listing
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, fmt.Errorf("runstore: %w", err)
 	}
 	return infos, nil
@@ -155,32 +245,50 @@ func (c *Client) Delete(kind, key string) error {
 	if err := checkNames(kind, key); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.url(kind, key), nil)
-	if err != nil {
-		return fmt.Errorf("runstore: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("runstore: %w", err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-	switch resp.StatusCode {
-	case http.StatusNoContent, http.StatusOK, http.StatusNotFound:
-		return nil
-	}
-	return fmt.Errorf("runstore: DELETE %s/%s: %s", kind, key, resp.Status)
+	return retry(func() error {
+		req, err := http.NewRequest(http.MethodDelete, c.url(kind, key), nil)
+		if err != nil {
+			return fmt.Errorf("runstore: %w", err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return transient(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		switch resp.StatusCode {
+		case http.StatusNoContent, http.StatusOK, http.StatusNotFound:
+			return nil
+		}
+		if resp.StatusCode >= 500 {
+			return transient(fmt.Errorf("DELETE %s/%s: %s", kind, key, resp.Status))
+		}
+		return fmt.Errorf("runstore: DELETE %s/%s: %s", kind, key, resp.Status)
+	})
 }
 
 // server serves the blob protocol over an inner Backend.
 type server struct {
-	b Backend
+	b        Backend
+	maxBytes int64
 }
 
-// NewServer returns an http.Handler exposing b over the blob protocol.
-// Mount it under a prefix with http.StripPrefix; paths are
-// /{kind}/{key} relative to that prefix.
-func NewServer(b Backend) http.Handler { return &server{b: b} }
+// NewServer returns an http.Handler exposing b over the blob protocol
+// with the default 1 GiB per-entry cap. Mount it under a prefix with
+// http.StripPrefix; paths are /{kind}/{key} relative to that prefix.
+func NewServer(b Backend) http.Handler { return NewServerLimit(b, maxBlobBytes) }
+
+// NewServerLimit is NewServer with an explicit per-entry byte cap: a
+// PUT whose body exceeds it is refused with 413 before the backend sees
+// it (http.MaxBytesReader, so the connection is also throttled shut
+// instead of draining an arbitrarily large upload). maxBytes <= 0 means
+// the default cap.
+func NewServerLimit(b Backend, maxBytes int64) http.Handler {
+	if maxBytes <= 0 {
+		maxBytes = maxBlobBytes
+	}
+	return &server{b: b, maxBytes: maxBytes}
+}
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	kind, key, ok := splitBlobPath(r.URL.Path)
@@ -265,17 +373,25 @@ func (s *server) get(w http.ResponseWriter, r *http.Request, kind, key string) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(int64(len(data)), 10))
+	w.Header().Set(digestHeader, Digest(data))
 	w.Write(data)
 }
 
 func (s *server) put(w http.ResponseWriter, r *http.Request, kind, key string) {
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBytes+1))
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("entry exceeds the %d-byte cap", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(data) > maxBlobBytes {
-		http.Error(w, "entry too large", http.StatusRequestEntityTooLarge)
+	if want := r.Header.Get(digestHeader); want != "" && want != Digest(data) {
+		// The body does not hash to what the client sent: corrupted in
+		// flight. Refuse before the backend sees it; the client replays.
+		http.Error(w, fmt.Sprintf("body digest mismatch: got %s, header said %s", short(Digest(data)), short(want)), http.StatusBadRequest)
 		return
 	}
 	replace := r.Header.Get(replaceHeader) == "1"

@@ -28,6 +28,13 @@ const (
 	metricCacheMiss  = "runstore_cache_misses_total"
 	metricCacheEvict = "runstore_cache_evictions_total"
 	metricCacheBytes = "runstore_cache_bytes"
+
+	metricIntegrityVerified    = "runstore_integrity_verified_total"
+	metricIntegrityBackfills   = "runstore_integrity_backfills_total"
+	metricIntegrityQuarantines = "runstore_integrity_quarantines_total"
+	metricIntegrityErrors      = "runstore_integrity_digest_errors_total"
+	metricScrubScanned         = "runstore_scrub_scanned_total"
+	metricScrubQuarantined     = "runstore_scrub_quarantined_total"
 )
 
 // Metrics is the store layer's handle on a telemetry registry. A nil
@@ -65,9 +72,10 @@ func (oi opInstr) observe(start time.Time, n int, err error) {
 }
 
 // Instrument wraps b with per-op telemetry labeled backend=kind
-// (conventionally "dir", "lru" or "http"). When the backend is an LRU
-// tier its cache counters are also exported, func-backed. A nil
-// receiver returns b unchanged.
+// (conventionally "dir", "lru", "http" or "verified"). When the backend
+// itself — not a deeper layer, which gets its own Instrument call — is
+// an LRU tier or a Verified integrity wrapper, its counters are also
+// exported, func-backed. A nil receiver returns b unchanged.
 func (m *Metrics) Instrument(b Backend, kind string) Backend {
 	if m == nil {
 		return b
@@ -79,14 +87,34 @@ func (m *Metrics) Instrument(b Backend, kind string) Backend {
 			errs:  m.reg.Counter(metricOpErrors, "store operations that returned an error", "backend", kind, "op", name),
 		}
 	}
-	if l, ok := b.(*LRU); ok {
-		m.exportLRU(l, kind)
+	switch t := b.(type) {
+	case *LRU:
+		m.exportLRU(t, kind)
+	case *Verified:
+		m.exportVerified(t, kind)
 	}
 	return &instrumented{
 		b:   b,
 		get: op("get"), put: op("put"), stat: op("stat"),
 		keys: op("keys"), del: op("delete"),
 	}
+}
+
+// exportVerified publishes a Verified wrapper's integrity and scrub
+// counters, read at scrape time (the verify path is untouched).
+func (m *Metrics) exportVerified(v *Verified, kind string) {
+	m.reg.CounterFunc(metricIntegrityVerified, "gets whose bytes matched their sidecar digest",
+		func() uint64 { return v.Counters().Verified }, "backend", kind)
+	m.reg.CounterFunc(metricIntegrityBackfills, "digest sidecars backfilled on first read (TOFU)",
+		func() uint64 { return v.Counters().Backfilled }, "backend", kind)
+	m.reg.CounterFunc(metricIntegrityQuarantines, "corrupt entries quarantined and missed",
+		func() uint64 { return v.Counters().Quarantined }, "backend", kind)
+	m.reg.CounterFunc(metricIntegrityErrors, "sidecar reads/writes that failed (entry served unverified)",
+		func() uint64 { return v.Counters().DigestErrs }, "backend", kind)
+	m.reg.CounterFunc(metricScrubScanned, "entries examined by scrub passes",
+		func() uint64 { return v.Counters().ScrubScanned }, "backend", kind)
+	m.reg.CounterFunc(metricScrubQuarantined, "corrupt entries quarantined by scrub passes",
+		func() uint64 { return v.Counters().ScrubQuarantined }, "backend", kind)
 }
 
 // exportLRU publishes the LRU's own counters; reads happen at scrape

@@ -1,0 +1,290 @@
+package sweepd
+
+// Deterministic chaos harness (DESIGN.md §14): a fault-injecting HTTP
+// proxy sits between the workers and the coordinator, drawing every
+// injection decision from internal/fault's counter-based splitmix
+// stream — so a seed fully determines the fault schedule, independent
+// of host scheduling. On top of it, the coordinator is killed and
+// recovered from its journal mid-sweep. The acceptance bar: across
+// every seed, every unit completes with its deterministic result,
+// exactly-once at the coordinator, despite 5xx bursts, dropped
+// connections, truncated responses, slow responses and the restart.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tinydir/internal/fault"
+)
+
+// retargetProxy forwards requests to a swappable target URL — the
+// stable address a fleet would reach a coordinator behind (DNS name,
+// load balancer) while the coordinator process itself is replaced.
+type retargetProxy struct {
+	srv    *httptest.Server
+	mu     sync.Mutex
+	target string
+
+	// Fault injection (all zero = transparent). Drawn per request from
+	// the counter-based stream, so the schedule depends only on seed
+	// and request ordinal.
+	seed                          uint64
+	n                             uint64 // atomic draw counter
+	p5xx, pDrop, pTruncate, pSlow float64
+	injected5xx, injectedDrops    uint64 // atomics
+	injectedTruncs, injectedSlows uint64
+}
+
+func newRetargetProxy(t *testing.T, target string) *retargetProxy {
+	t.Helper()
+	p := &retargetProxy{target: target}
+	p.srv = httptest.NewServer(http.HandlerFunc(p.serve))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *retargetProxy) URL() string { return p.srv.URL }
+
+func (p *retargetProxy) Retarget(target string) {
+	p.mu.Lock()
+	p.target = target
+	p.mu.Unlock()
+}
+
+func (p *retargetProxy) currentTarget() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target
+}
+
+// draw returns one deterministic uniform value per call.
+func (p *retargetProxy) draw() uint64 {
+	n := atomic.AddUint64(&p.n, 1) - 1
+	return fault.Splitmix(p.seed, 1, n)
+}
+
+func (p *retargetProxy) serve(w http.ResponseWriter, r *http.Request) {
+	// One draw per fault class per request keeps the stream aligned
+	// with the request ordinal regardless of which faults fire.
+	inject5xx := p.draw() < fault.Threshold(p.p5xx)
+	injectDrop := p.draw() < fault.Threshold(p.pDrop)
+	injectTrunc := p.draw() < fault.Threshold(p.pTruncate)
+	injectSlow := p.draw() < fault.Threshold(p.pSlow)
+
+	if injectSlow {
+		atomic.AddUint64(&p.injectedSlows, 1)
+		time.Sleep(20 * time.Millisecond)
+	}
+	if inject5xx {
+		atomic.AddUint64(&p.injected5xx, 1)
+		http.Error(w, "chaos: injected 5xx", http.StatusBadGateway)
+		return
+	}
+	if injectDrop {
+		atomic.AddUint64(&p.injectedDrops, 1)
+		panic(http.ErrAbortHandler) // connection reset, no response
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.currentTarget()+r.URL.Path, strings.NewReader(string(body)))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		// The real coordinator is down (mid-restart): surface it as the
+		// transport failure it is.
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if injectTrunc && len(respBody) > 1 {
+		// Advertise the full length, deliver half, cut the connection:
+		// the client sees an unexpected EOF mid-body.
+		atomic.AddUint64(&p.injectedTruncs, 1)
+		w.Header().Set("Content-Length", fmt.Sprint(len(respBody)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody[:len(respBody)/2])
+		panic(http.ErrAbortHandler)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+}
+
+// waitFor polls cond until it holds or ctx expires.
+func waitFor(t *testing.T, ctx context.Context, cond func() bool) {
+	t.Helper()
+	for !cond() {
+		select {
+		case <-ctx.Done():
+			t.Fatal("condition never held")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// chaosSeeds is the seed sweep; every seed must converge. 8 seeds in
+// full mode (the acceptance bar), trimmed under -short.
+func chaosSeeds(t *testing.T) []uint64 {
+	if testing.Short() {
+		return []uint64{1, 2}
+	}
+	return []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// TestChaosSweep: two workers drain a sweep through a faulty proxy
+// while the coordinator is killed and journal-recovered mid-flight.
+// Every unit's result must come back correct and exactly-once per
+// epoch, for every seed.
+func TestChaosSweep(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runChaosSweep(t, seed)
+		})
+	}
+}
+
+func runChaosSweep(t *testing.T, seed uint64) {
+	const units = 14
+	dir := t.TempDir()
+	expect := func(i int) string { return fmt.Sprintf("result-of-%02d", i) }
+
+	c1 := recover1(t, dir)
+	c1.LeaseTTL = 250 * time.Millisecond
+	srv1 := httptest.NewServer(c1.Handler())
+
+	proxy := newRetargetProxy(t, srv1.URL)
+	proxy.seed = seed
+	proxy.p5xx = 0.10
+	proxy.pDrop = 0.05
+	proxy.pTruncate = 0.05
+	proxy.pSlow = 0.10
+
+	// Run is deterministic in the unit key — the same discipline the
+	// real worker gets from the simulator — so duplicate executions
+	// across epochs are byte-identical and the exactly-once merge holds.
+	var executions int64
+	mkWorker := func(name string) *Worker {
+		return &Worker{
+			Base: proxy.URL(), Name: name,
+			Poll:       5 * time.Millisecond,
+			MaxErrors:  1000, // chaos-dense runs must never give up
+			BackoffMax: 50 * time.Millisecond,
+			Run: func(key string, payload []byte) ([]byte, error) {
+				atomic.AddInt64(&executions, 1)
+				time.Sleep(10 * time.Millisecond)
+				return []byte("result-of-" + key[4:]), nil
+			},
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	workerErr := make(chan error, 2)
+	for _, name := range []string{"cw1", "cw2"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			workerErr <- mkWorker(name).Loop(ctx)
+		}(name)
+	}
+
+	chans1 := make([]chan doResult, units)
+	for i := 0; i < units; i++ {
+		chans1[i] = submit(c1, Unit{Key: fmt.Sprintf("unit%02d", i), Payload: []byte{byte(i)}})
+	}
+
+	// Kill the first incarnation once the sweep is demonstrably
+	// mid-flight (some units done, some not).
+	waitFor(t, ctx, func() bool { return c1.Status().Done >= 3 })
+	srv1.Close()
+	c1.Close() // releases this incarnation's Do waiters and its WAL handle
+	for _, ch := range chans1 {
+		<-ch
+	}
+
+	// Recover incarnation two from the same journal, retarget the
+	// proxy, resubmit everything (recovered done units answer from the
+	// journal; the rest re-run).
+	c2 := recover1(t, dir)
+	c2.LeaseTTL = 250 * time.Millisecond
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	if got := c2.Epoch(); got != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", got)
+	}
+	proxy.Retarget(srv2.URL)
+
+	chans2 := make([]chan doResult, units)
+	for i := 0; i < units; i++ {
+		chans2[i] = submit(c2, Unit{Key: fmt.Sprintf("unit%02d", i), Payload: []byte{byte(i)}})
+	}
+	for i, ch := range chans2 {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatalf("seed %d unit %d: %v", seed, i, r.err)
+			}
+			if string(r.b) != expect(i) {
+				t.Fatalf("seed %d unit %d: result %q, want %q", seed, i, r.b, expect(i))
+			}
+		case <-ctx.Done():
+			t.Fatalf("seed %d unit %d never completed (proxy: %d 5xx, %d drops, %d truncs)",
+				seed, i, atomic.LoadUint64(&proxy.injected5xx),
+				atomic.LoadUint64(&proxy.injectedDrops), atomic.LoadUint64(&proxy.injectedTruncs))
+		}
+	}
+
+	st := c2.Status()
+	if st.Done != units || st.Failed != 0 {
+		t.Fatalf("seed %d final status: %+v", seed, st)
+	}
+	c2.Close() // sends the fleet home (410)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-workerErr; err != nil {
+			t.Fatalf("seed %d worker: %v", seed, err)
+		}
+	}
+	// Exactly-once per epoch: a unit may legitimately run once under
+	// each incarnation (fenced completion, requeue) but chaos must not
+	// multiply work beyond that.
+	if n := atomic.LoadInt64(&executions); n > 2*units {
+		t.Fatalf("seed %d: %d executions for %d units (exactly-once per epoch violated)", seed, n, units)
+	}
+
+	// The journal survived all of it: a third recovery sees the whole
+	// sweep done.
+	c3 := recover1(t, dir)
+	defer c3.Close()
+	for i := 0; i < units; i++ {
+		if b, err := c3.Do(Unit{Key: fmt.Sprintf("unit%02d", i)}); err != nil || string(b) != expect(i) {
+			t.Fatalf("seed %d post-chaos recovery unit %d: %q, %v", seed, i, b, err)
+		}
+	}
+}

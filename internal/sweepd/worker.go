@@ -52,6 +52,10 @@ type Worker struct {
 	HC *http.Client
 
 	units uint64 // completed unit count (atomic)
+	// epoch is the last coordinator incarnation observed (via claim
+	// responses); only the Loop goroutine touches it, and only for
+	// logging restarts — fencing echoes each lease's own epoch.
+	epoch uint64
 }
 
 func (w *Worker) poll() time.Duration {
@@ -117,7 +121,7 @@ func (w *Worker) Loop(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cl, status, err := w.claim()
+		cl, status, err := w.claim(ctx)
 		if err != nil {
 			// Transient transport failure — the coordinator may just be
 			// restarting. Back off exponentially (poll interval doubled
@@ -160,14 +164,30 @@ func (w *Worker) Loop(ctx context.Context) error {
 	}
 }
 
+// reportTimeout bounds the done-report flush after the worker's own ctx
+// is cancelled (a shutting-down worker still delivers its last result,
+// but not to a coordinator that hangs forever).
+const reportTimeout = 30 * time.Second
+
+// reportAttempts bounds retries of the done report on transient
+// transport errors. Safe to retry: completion is idempotent (identical
+// duplicates acknowledged) and the lease-expiry path recovers a lost
+// report anyway — the retries just avoid re-running the unit.
+const reportAttempts = 3
+
 // process executes one claimed unit under a heartbeat.
 func (w *Worker) process(ctx context.Context, cl claimResponse) {
 	w.logf("worker %s: claimed %.12s", w.Name, cl.Key)
 	hbCtx, stopHB := context.WithCancel(ctx)
-	go w.heartbeatLoop(hbCtx, cl)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(hbCtx, cl)
+	}()
 	execStart := time.Now()
 	result, err := w.Run(cl.Key, cl.Payload)
 	stopHB()
+	<-hbDone // the in-flight heartbeat request (if any) aborts with hbCtx
 	if w.Tel != nil {
 		observeUS(w.Tel.exec, time.Since(execStart))
 		w.Tel.units.Inc()
@@ -182,19 +202,44 @@ func (w *Worker) process(ctx context.Context, cl claimResponse) {
 	}
 	// Report even after a lost lease: the coordinator's exactly-once
 	// merge acknowledges identical duplicates and refuses divergent
-	// ones loudly.
+	// ones loudly. Deliberately detached from ctx (a cancelled worker
+	// still flushes its in-flight result) but bounded in time.
+	repCtx, cancel := context.WithTimeout(context.Background(), reportTimeout)
+	defer cancel()
 	postStart := time.Now()
-	derr := w.post("/done", doneRequest{Worker: w.Name, Key: cl.Key, Result: result, Err: errmsg}, nil)
+	var derr error
+	for attempt := 1; ; attempt++ {
+		derr = w.post(repCtx, "/done", doneRequest{Worker: w.Name, Key: cl.Key, Epoch: cl.Epoch, Result: result, Err: errmsg}, nil)
+		if derr == nil || derr == errGone || derr == errFenced || attempt >= reportAttempts {
+			break
+		}
+		w.Logger.Warn("done report failed, retrying",
+			telemetry.F("worker", w.Name), telemetry.F("unit", cl.Key),
+			telemetry.F("attempt", attempt), telemetry.F("err", derr))
+		if !sleepCtx(repCtx, w.backoff(attempt)) {
+			break
+		}
+	}
 	if w.Tel != nil {
 		observeUS(w.Tel.report, time.Since(postStart))
 	}
-	if derr != nil {
+	switch derr {
+	case nil:
+	case errFenced:
+		// The coordinator restarted since this lease was granted; the
+		// unit re-runs under the new epoch (and is served from the run
+		// store, so nothing is recomputed).
+		w.logf("worker %s: completion of %.12s fenced (coordinator restarted); unit re-claims under new epoch", w.Name, cl.Key)
+	default:
 		w.logf("worker %s: reporting %.12s: %v", w.Name, cl.Key, derr)
 	}
 }
 
 // heartbeatLoop extends the lease at a third of its TTL until the unit
-// finishes or the lease is gone.
+// finishes (ctx cancelled), the lease is gone, or the coordinator
+// restarted (epoch fence). Requests are bound to ctx, so tearing the
+// loop down also aborts an in-flight heartbeat — no goroutine or
+// connection outlives the unit.
 func (w *Worker) heartbeatLoop(ctx context.Context, cl claimResponse) {
 	interval := time.Duration(cl.LeaseMs) * time.Millisecond / 3
 	if interval <= 0 {
@@ -205,15 +250,26 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cl claimResponse) {
 			return
 		}
 		var resp heartbeatResponse
-		err := w.post("/heartbeat", heartbeatRequest{Worker: w.Name, Key: cl.Key, Report: w.Tel.Report()}, &resp)
-		if err == errGone {
+		err := w.post(ctx, "/heartbeat", heartbeatRequest{Worker: w.Name, Key: cl.Key, Epoch: cl.Epoch, Report: w.Tel.Report()}, &resp)
+		switch {
+		case err == errGone:
 			// Lease lost (expired or completed elsewhere). The unit
 			// cannot be aborted mid-simulation; finish and let the
 			// idempotent completion sort it out.
 			w.logf("worker %s: lease on %.12s lost", w.Name, cl.Key)
 			return
-		}
-		if err != nil {
+		case err == errFenced:
+			// Coordinator restarted: this lease belongs to its previous
+			// incarnation. Drop it — the recovered coordinator already
+			// requeued the unit — and let the run finish for the store's
+			// benefit; the completion will fence too, harmlessly.
+			w.logf("worker %s: lease on %.12s fenced by coordinator epoch bump", w.Name, cl.Key)
+			w.Logger.Info("lease fenced by epoch bump",
+				telemetry.F("worker", w.Name), telemetry.F("unit", cl.Key), telemetry.F("lease_epoch", cl.Epoch))
+			return
+		case err != nil && ctx.Err() != nil:
+			return // torn down mid-request; not a heartbeat failure
+		case err != nil:
 			w.logf("worker %s: heartbeat %.12s: %v", w.Name, cl.Key, err)
 			w.Logger.Warn("heartbeat failed, lease still ticking",
 				telemetry.F("worker", w.Name), telemetry.F("unit", cl.Key), telemetry.F("err", err))
@@ -223,14 +279,22 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cl claimResponse) {
 
 // claim asks for work. status is one of 200 (cl valid), 204 (no work
 // yet) or 410 (sweep over).
-func (w *Worker) claim() (cl claimResponse, status int, err error) {
+func (w *Worker) claim(ctx context.Context) (cl claimResponse, status int, err error) {
 	start := time.Now()
-	status, err = w.postStatus("/claim", claimRequest{Worker: w.Name, Report: w.Tel.Report()}, &cl)
+	status, err = w.postStatus(ctx, "/claim", claimRequest{Worker: w.Name, Report: w.Tel.Report()}, &cl)
 	if err != nil {
 		return claimResponse{}, 0, err
 	}
 	if w.Tel != nil {
 		observeUS(w.Tel.claim, time.Since(start))
+	}
+	if status == http.StatusOK && cl.Epoch != 0 && cl.Epoch != w.epoch {
+		if w.epoch != 0 {
+			w.logf("worker %s: coordinator epoch %d -> %d (restart observed)", w.Name, w.epoch, cl.Epoch)
+			w.Logger.Info("coordinator epoch bump observed",
+				telemetry.F("worker", w.Name), telemetry.F("from", w.epoch), telemetry.F("to", cl.Epoch))
+		}
+		w.epoch = cl.Epoch
 	}
 	switch status {
 	case http.StatusOK, http.StatusNoContent, http.StatusGone:
@@ -239,30 +303,43 @@ func (w *Worker) claim() (cl claimResponse, status int, err error) {
 	return claimResponse{}, 0, fmt.Errorf("sweepd: claim: unexpected status %d", status)
 }
 
-var errGone = fmt.Errorf("sweepd: gone")
+var (
+	errGone   = fmt.Errorf("sweepd: gone")
+	errFenced = fmt.Errorf("sweepd: stale epoch fenced")
+)
 
-// post sends one JSON request; 410 maps to errGone, other non-2xx to
-// errors. resp may be nil.
-func (w *Worker) post(path string, req interface{}, resp interface{}) error {
-	status, err := w.postStatus(path, req, resp)
+// post sends one JSON request; 410 maps to errGone, 412 to errFenced,
+// other non-2xx to errors. resp may be nil.
+func (w *Worker) post(ctx context.Context, path string, req interface{}, resp interface{}) error {
+	status, err := w.postStatus(ctx, path, req, resp)
 	if err != nil {
 		return err
 	}
 	switch {
 	case status == http.StatusGone:
 		return errGone
+	case status == http.StatusPreconditionFailed:
+		return errFenced
 	case status >= 300:
 		return fmt.Errorf("sweepd: POST %s: status %d", path, status)
 	}
 	return nil
 }
 
-func (w *Worker) postStatus(path string, req interface{}, resp interface{}) (int, error) {
+// postStatus sends one protocol request bound to ctx — cancelling ctx
+// aborts the request in flight, which is what lets process tear down the
+// heartbeat goroutine deterministically on every exit path.
+func (w *Worker) postStatus(ctx context.Context, path string, req interface{}, resp interface{}) (int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
-	httpResp, err := w.hc().Post(w.Base+path, "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := w.hc().Do(httpReq)
 	if err != nil {
 		return 0, err
 	}

@@ -59,13 +59,25 @@ type RunStore struct {
 }
 
 // NewRunStore opens (creating if needed) a directory-backed run store
-// rooted at dir.
+// rooted at dir, wrapped in the integrity layer: every Put leaves a
+// sha256 sidecar digest, every Get verifies against it, and a corrupt
+// entry is quarantined and missed — never silently served (see
+// internal/runstore's Verified). Entries predating the layer get their
+// digest backfilled on first read.
 func NewRunStore(dir string) (*RunStore, error) {
 	b, err := runstore.NewDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &RunStore{b: b}, nil
+	return &RunStore{b: verifyBackend(b)}, nil
+}
+
+// verifyBackend wraps b in the integrity layer, routing its warnings
+// through storeWarn (late-bound: tests swap the var after construction).
+func verifyBackend(b runstore.Backend) *runstore.Verified {
+	v := runstore.NewVerified(b)
+	v.Warn = func(format string, args ...interface{}) { storeWarn(format, args...) }
+	return v
 }
 
 // NewRunStoreWithBackend wraps an arbitrary blob backend — an LRU tier,
@@ -211,46 +223,100 @@ func (s *RunStore) writeCheckpoint(key string, data []byte) error {
 	return s.b.Put(runstore.KindCheckpoints, key, data, true)
 }
 
-// GCStats reports what a GC pass found (and, unless it was a dry run,
-// pruned).
-type GCStats struct {
-	Scanned     int   // entries examined across both kinds
-	Pruned      int   // entries older than the cutoff
-	PrunedBytes int64 // their total size
+// GCKindStats is one artifact kind's share of a GC pass.
+type GCKindStats struct {
+	Scanned     int
+	Pruned      int
+	PrunedBytes int64
 	Kept        int
 }
 
-// GC prunes results and checkpoints whose modification time is older
-// than age. With dryRun set it only reports what would go. Long-lived
-// shared stores call this periodically (experiments -store-gc) so a
-// fleet's accumulated sweep history does not grow without bound; any
-// pruned entry is simply re-simulated (results) or re-warmed
-// (checkpoints) on next use.
+// GCStats reports what a GC pass found (and, unless it was a dry run,
+// pruned). The top-level counts cover the primary artifact kinds
+// (results, checkpoints) — digest sidecars ride along with their entry
+// and quarantined debris is bookkeeping, not cached work — while Kinds
+// breaks every walked kind out individually (experiments -store-gc
+// -store-gc-dry-run prints this table).
+type GCStats struct {
+	Scanned     int   // primary entries examined
+	Pruned      int   // primary entries older than the cutoff
+	PrunedBytes int64 // their total size
+	Kept        int
+	Kinds       map[string]GCKindStats // every walked kind, sidecars included
+}
+
+// gcKinds are the kinds a GC pass walks: the primary artifact kinds
+// first (so an entry's digest sidecar is already gone — the integrity
+// layer deletes it with the entry — before the sidecar kinds are
+// walked), then the integrity layer's derived kinds, which age out by
+// their own modification times (covering orphans).
+var gcKinds = []struct {
+	kind    string
+	primary bool
+}{
+	{runstore.KindResults, true},
+	{runstore.KindCheckpoints, true},
+	{runstore.DigestKind(runstore.KindResults), false},
+	{runstore.DigestKind(runstore.KindCheckpoints), false},
+	{runstore.QuarantineKind(runstore.KindResults), false},
+	{runstore.QuarantineKind(runstore.KindCheckpoints), false},
+}
+
+// GC prunes results, checkpoints and the integrity layer's sidecar
+// kinds whose modification time is older than age. With dryRun set it
+// only reports what would go. Long-lived shared stores call this
+// periodically (experiments -store-gc) so a fleet's accumulated sweep
+// history does not grow without bound; any pruned entry is simply
+// re-simulated (results) or re-warmed (checkpoints) on next use.
 func (s *RunStore) GC(age time.Duration, dryRun bool) (GCStats, error) {
-	var st GCStats
+	st := GCStats{Kinds: map[string]GCKindStats{}}
 	cutoff := time.Now().Add(-age)
-	for _, kind := range []string{runstore.KindResults, runstore.KindCheckpoints} {
-		infos, err := s.b.Keys(kind)
+	for _, k := range gcKinds {
+		ks := GCKindStats{}
+		infos, err := s.b.Keys(k.kind)
 		if err != nil {
 			return st, err
 		}
 		for _, info := range infos {
-			st.Scanned++
+			ks.Scanned++
 			if info.ModTime.After(cutoff) {
-				st.Kept++
+				ks.Kept++
 				continue
 			}
-			st.Pruned++
-			st.PrunedBytes += info.Size
+			ks.Pruned++
+			ks.PrunedBytes += info.Size
 			if dryRun {
 				continue
 			}
-			if err := s.b.Delete(kind, info.Key); err != nil {
+			if err := s.b.Delete(k.kind, info.Key); err != nil {
 				return st, err
 			}
 		}
+		if ks.Scanned > 0 {
+			st.Kinds[k.kind] = ks
+		}
+		if k.primary {
+			st.Scanned += ks.Scanned
+			st.Pruned += ks.Pruned
+			st.PrunedBytes += ks.PrunedBytes
+			st.Kept += ks.Kept
+		}
 	}
 	return st, nil
+}
+
+// Scrub walks every result and checkpoint through the integrity layer's
+// verify-or-quarantine decision (experiments -store-scrub). On a store
+// whose backend already carries the Verified wrapper this uses it (the
+// scrub counters land on its runstore_scrub_* series); on a bare
+// backend an ad-hoc wrapper is used, which doubles as a migration pass —
+// every entry without a digest sidecar gets one backfilled.
+func (s *RunStore) Scrub() (runstore.ScrubStats, error) {
+	v := runstore.FindVerified(s.b)
+	if v == nil {
+		v = verifyBackend(s.b)
+	}
+	return v.Scrub(runstore.KindResults, runstore.KindCheckpoints)
 }
 
 // warmupEvents is the fixed event count at which a run's warmup checkpoint

@@ -318,3 +318,82 @@ func TestRunStoreGC(t *testing.T) {
 		t.Fatal("fresh entry pruned by gc")
 	}
 }
+
+// TestRunStoreGCKinds: the per-kind breakdown behind `experiments
+// -store-gc` — primaries prune with their digest sidecars (the
+// integrity layer deletes them together), while orphaned sidecars and
+// quarantine copies age out by their own modification times.
+func TestRunStoreGCKinds(t *testing.T) {
+	store, dir := testStore(t)
+	oldKey := strings.Repeat("c", 64)
+	newKey := strings.Repeat("d", 64)
+	orphanKey := strings.Repeat("e", 64)
+	if err := store.PutResult(oldKey, Result{App: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutResult(newKey, Result{App: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	// An orphaned digest sidecar (its primary long gone) and an aged
+	// quarantine copy, both stale; plus the stale primary.
+	digestKind := runstore.DigestKind(runstore.KindResults)
+	quarKind := runstore.QuarantineKind(runstore.KindResults)
+	if err := store.Backend().Put(digestKind, orphanKey, []byte("deadbeef"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Backend().Put(quarKind, orphanKey, []byte("{corrupt}"), true); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-48 * time.Hour)
+	for _, f := range []string{
+		resultFile(dir, oldKey),
+		filepath.Join(dir, digestKind, orphanKey+".dat"),
+		filepath.Join(dir, quarKind, orphanKey+".dat"),
+	} {
+		if err := os.Chtimes(f, stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dry run first: the per-kind report (counts and would-reclaim
+	// bytes) must be complete without anything being deleted.
+	dry, err := store.GC(24*time.Hour, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{runstore.KindResults, digestKind, quarKind} {
+		ks := dry.Kinds[kind]
+		if ks.Pruned == 0 || ks.PrunedBytes <= 0 {
+			t.Fatalf("dry-run kind %s reports nothing to reclaim: %+v", kind, ks)
+		}
+	}
+	if _, ok, _ := store.GetResult(oldKey); !ok {
+		t.Fatal("dry run deleted an entry")
+	}
+
+	stats, err := store.GC(24*time.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top-level stats count primaries only (the CLI's headline numbers).
+	if stats.Scanned != 2 || stats.Pruned != 1 || stats.Kept != 1 {
+		t.Fatalf("top-level stats: %+v", stats)
+	}
+	// results: old pruned, new kept. results-sha256: old's sidecar went
+	// with its primary (integrity delete), so only new's fresh sidecar
+	// and the stale orphan are walked; the orphan prunes. quarantine:
+	// the one stale copy prunes.
+	if ks := stats.Kinds[runstore.KindResults]; ks.Scanned != 2 || ks.Pruned != 1 || ks.Kept != 1 {
+		t.Fatalf("results kind stats: %+v", ks)
+	}
+	if ks := stats.Kinds[digestKind]; ks.Scanned != 2 || ks.Pruned != 1 || ks.Kept != 1 {
+		t.Fatalf("digest kind stats: %+v (want orphan pruned, live sidecar kept)", ks)
+	}
+	if ks := stats.Kinds[quarKind]; ks.Scanned != 1 || ks.Pruned != 1 {
+		t.Fatalf("quarantine kind stats: %+v", ks)
+	}
+	// The survivor still round-trips through the verified read path.
+	if _, ok, err := store.GetResult(newKey); err != nil || !ok {
+		t.Fatalf("fresh entry after gc: ok=%v err=%v", ok, err)
+	}
+}
